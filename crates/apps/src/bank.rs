@@ -1,0 +1,190 @@
+//! A distributed bank: monitors, mobile locks and attachment in one
+//! workload (paper, sections 2.2-2.3).
+//!
+//! Accounts are objects spread across the nodes. Per-account consistency
+//! comes from exclusive invocations (the object model's serialization);
+//! *transfers* touch two accounts on possibly different nodes, so they run
+//! under a single mobile [`Lock`] — "lock objects ... can be remotely
+//! invoked to enforce concurrency constraints involving multiple objects on
+//! different nodes". An audit log object is attached to the lock so the
+//! pair stays co-located wherever the bank's coordination home moves.
+//!
+//! The invariant checked everywhere: the sum of balances never changes.
+
+use amber_core::{AmberObject, Cluster, Ctx, NodeId, ObjRef, SimTime};
+use amber_sync::Lock;
+
+/// One account.
+pub struct Account {
+    /// Current balance.
+    pub balance: i64,
+}
+
+impl AmberObject for Account {}
+
+/// The audit log, attached to the transfer lock.
+pub struct AuditLog {
+    /// `(from, to, amount)` triples, in commit order.
+    pub entries: Vec<(usize, usize, i64)>,
+}
+
+impl AmberObject for AuditLog {
+    fn transfer_size(&self) -> usize {
+        std::mem::size_of::<Self>() + self.entries.len() * 24
+    }
+}
+
+/// Parameters for one bank run.
+#[derive(Clone, Copy, Debug)]
+pub struct BankParams {
+    /// Number of accounts.
+    pub accounts: usize,
+    /// Initial balance per account.
+    pub initial: i64,
+    /// Nodes in the cluster.
+    pub nodes: usize,
+    /// Processors per node.
+    pub procs: usize,
+    /// Concurrent teller threads.
+    pub tellers: usize,
+    /// Transfers per teller.
+    pub transfers: usize,
+}
+
+impl BankParams {
+    /// A small default.
+    pub fn small(nodes: usize) -> BankParams {
+        BankParams {
+            accounts: 8,
+            initial: 1000,
+            nodes,
+            procs: 2,
+            tellers: 4,
+            transfers: 10,
+        }
+    }
+}
+
+/// Result of a bank run.
+#[derive(Clone, Debug)]
+pub struct BankResult {
+    /// Sum of balances after the run (must equal `accounts * initial`).
+    pub total: i64,
+    /// Committed transfers in the audit log.
+    pub committed: usize,
+    /// Virtual time of the transfer phase.
+    pub elapsed: SimTime,
+}
+
+/// Runs tellers hammering random transfers under the mobile transfer lock,
+/// then audits the invariant.
+pub fn run_bank(p: BankParams) -> BankResult {
+    let cluster = Cluster::builder().nodes(p.nodes).processors(p.procs).build();
+    cluster.run(move |ctx| bank_main(ctx, p)).expect("bank run failed")
+}
+
+fn bank_main(ctx: &Ctx, p: BankParams) -> BankResult {
+    // Accounts round-robin across nodes.
+    let accounts: Vec<ObjRef<Account>> = (0..p.accounts)
+        .map(|i| ctx.create_on(NodeId::from(i % p.nodes), Account { balance: p.initial }))
+        .collect();
+    let lock = Lock::new(ctx);
+    let log = ctx.create(AuditLog { entries: Vec::new() });
+    ctx.attach(&log, &lock.object());
+
+    let t0 = ctx.now();
+    let mut handles = Vec::new();
+    for t in 0..p.tellers {
+        let node = NodeId::from(t % p.nodes);
+        let anchor = ctx.create_on(node, 0u8);
+        let accounts = accounts.clone();
+        handles.push(ctx.start(&anchor, move |ctx, _| {
+            let mut x = (t as u64 + 1).wrapping_mul(0x9E37_79B9_7F4A_7C15) | 1;
+            for _ in 0..p.transfers {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let from = (x % p.accounts as u64) as usize;
+                let to = ((x >> 17) % p.accounts as u64) as usize;
+                let amount = 1 + (x % 50) as i64;
+                if from == to {
+                    continue;
+                }
+                // Multi-object constraint: both debits and credits commit
+                // under the transfer lock, wherever the accounts live.
+                lock.with(ctx, |ctx| {
+                    let available =
+                        ctx.invoke_shared(&accounts[from], |_, a| a.balance >= amount);
+                    if available {
+                        ctx.invoke(&accounts[from], |_, a| a.balance -= amount);
+                        ctx.invoke(&accounts[to], |_, a| a.balance += amount);
+                        ctx.invoke(&log, move |_, l| l.entries.push((from, to, amount)));
+                    }
+                });
+            }
+        }));
+    }
+    for h in handles {
+        h.join(ctx);
+    }
+    let elapsed = ctx.now() - t0;
+
+    // Audit: the balance sum is conserved.
+    let total: i64 = accounts
+        .iter()
+        .map(|a| ctx.invoke_shared(a, |_, acc| acc.balance))
+        .sum();
+    let committed = ctx.invoke_shared(&log, |_, l| l.entries.len());
+    BankResult {
+        total,
+        committed,
+        elapsed,
+    }
+}
+
+/// Moves the bank's coordination home (lock + attached audit log) to
+/// another node, e.g. between workload phases.
+pub fn rehome_coordination(ctx: &Ctx, lock: &Lock, node: NodeId) {
+    ctx.move_to(&lock.object(), node);
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn balance_sum_is_conserved() {
+        let p = BankParams::small(3);
+        let r = run_bank(p);
+        assert_eq!(r.total, p.accounts as i64 * p.initial);
+        assert!(r.committed > 0, "no transfer ever committed");
+    }
+
+    #[test]
+    fn log_and_lock_stay_attached_across_moves() {
+        let c = Cluster::sim(2, 1);
+        c.run(|ctx| {
+            let lock = Lock::new(ctx);
+            let log = ctx.create(AuditLog { entries: Vec::new() });
+            ctx.attach(&log, &lock.object());
+            rehome_coordination(ctx, &lock, NodeId(1));
+            assert_eq!(ctx.locate(&lock.object()), NodeId(1));
+            assert_eq!(ctx.locate(&log), NodeId(1));
+            // Still usable after the move.
+            lock.with(ctx, |ctx| {
+                ctx.invoke(&log, |_, l| l.entries.push((0, 1, 5)));
+            });
+            assert_eq!(ctx.invoke_shared(&log, |_, l| l.entries.len()), 1);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn deterministic_audit_log() {
+        let p = BankParams::small(2);
+        let a = run_bank(p);
+        let b = run_bank(p);
+        assert_eq!(a.committed, b.committed);
+        assert_eq!(a.elapsed, b.elapsed);
+    }
+}

@@ -1,0 +1,294 @@
+//! Branch-and-bound travelling salesman: a hot shared mutable object.
+//!
+//! The global best-tour bound is the classic example of state every worker
+//! reads often and writes rarely. Two placements are compared:
+//!
+//! * **shared bound object** — one mutable object on the boot node; every
+//!   bound check is an invocation (remote for workers elsewhere). This is
+//!   the paper's "thread repeatedly invokes the same remote object" cost
+//!   pattern, stated in section 4.1 to be predictable but expensive.
+//! * **periodic local bound** — each worker keeps a local copy and
+//!   exchanges it with the master object only every `sync_every` nodes
+//!   expanded: the program-controlled locality the paper advocates.
+//!
+//! Both versions return the same optimal tour length (pruning never changes
+//! the optimum), which is the correctness oracle.
+
+use amber_core::{AmberObject, Cluster, Ctx, NodeId, SimTime};
+
+/// Symmetric distance matrix for `n` cities, deterministically seeded.
+pub struct Cities {
+    /// Number of cities.
+    pub n: usize,
+    dist: Vec<u32>,
+}
+
+impl AmberObject for Cities {
+    fn transfer_size(&self) -> usize {
+        std::mem::size_of::<Self>() + self.dist.len() * 4
+    }
+}
+
+impl Cities {
+    /// A deep copy (used by workers to pull the replicated matrix into
+    /// their own frame, so later bound checks return to the worker's node
+    /// rather than sticking wherever the replica was read).
+    pub fn snapshot(&self) -> Cities {
+        Cities {
+            n: self.n,
+            dist: self.dist.clone(),
+        }
+    }
+
+    /// Builds a seeded instance.
+    pub fn seeded(n: usize, seed: u64) -> Cities {
+        let mut x = seed.wrapping_mul(0x2545_F491_4F6C_DD1D) | 1;
+        let mut dist = vec![0u32; n * n];
+        for i in 0..n {
+            for j in (i + 1)..n {
+                x ^= x << 13;
+                x ^= x >> 7;
+                x ^= x << 17;
+                let d = 1 + (x % 97) as u32;
+                dist[i * n + j] = d;
+                dist[j * n + i] = d;
+            }
+        }
+        Cities { n, dist }
+    }
+
+    /// Distance between cities `i` and `j`.
+    pub fn d(&self, i: usize, j: usize) -> u32 {
+        self.dist[i * self.n + j]
+    }
+}
+
+/// The shared bound object.
+pub struct Bound {
+    best: u32,
+}
+
+impl AmberObject for Bound {}
+
+/// Parameters for one TSP run.
+#[derive(Clone, Copy, Debug)]
+pub struct TspParams {
+    /// Number of cities (exhaustive search is `(n-1)!`; keep modest).
+    pub cities: usize,
+    /// RNG seed for the distance matrix.
+    pub seed: u64,
+    /// Nodes in the cluster.
+    pub nodes: usize,
+    /// Processors per node.
+    pub procs: usize,
+    /// Modelled CPU cost of expanding one search node.
+    pub expand_cost: SimTime,
+    /// Check the shared bound every `sync_every` expansions (1 = every
+    /// expansion, i.e. the hot-shared-object variant).
+    pub sync_every: usize,
+}
+
+impl TspParams {
+    /// A small instance.
+    pub fn small(nodes: usize, sync_every: usize) -> TspParams {
+        TspParams {
+            cities: 9,
+            seed: 42,
+            nodes,
+            procs: 2,
+            expand_cost: SimTime::from_us(40),
+            sync_every,
+        }
+    }
+}
+
+/// Result of a TSP run.
+#[derive(Clone, Copy, Debug)]
+pub struct TspResult {
+    /// Optimal tour length found.
+    pub best: u32,
+    /// Virtual time of the search.
+    pub elapsed: SimTime,
+    /// Messages during the search.
+    pub msgs: u64,
+}
+
+/// Exhaustive sequential branch-and-bound (the oracle).
+pub fn tsp_sequential(p: &TspParams) -> u32 {
+    let cities = Cities::seeded(p.cities, p.seed);
+    let mut best = u32::MAX;
+    let mut visited = vec![false; p.cities];
+    visited[0] = true;
+    let mut path = vec![0usize];
+    fn rec(c: &Cities, visited: &mut [bool], path: &mut Vec<usize>, len: u32, best: &mut u32) {
+        let n = c.n;
+        let last = *path.last().expect("path never empty");
+        if path.len() == n {
+            let total = len + c.d(last, 0);
+            if total < *best {
+                *best = total;
+            }
+            return;
+        }
+        if len >= *best {
+            return;
+        }
+        for next in 1..n {
+            if !visited[next] {
+                visited[next] = true;
+                path.push(next);
+                rec(c, visited, path, len + c.d(last, next), best);
+                path.pop();
+                visited[next] = false;
+            }
+        }
+    }
+    rec(&cities, &mut visited, &mut path, 0, &mut best);
+    best
+}
+
+/// Distributed branch-and-bound: the tours starting `0 -> k` are dealt to
+/// workers round-robin across nodes; the bound lives in a shared object.
+pub fn run_tsp(p: TspParams) -> TspResult {
+    let cluster = Cluster::builder().nodes(p.nodes).processors(p.procs).build();
+    cluster.run(move |ctx| tsp_main(ctx, p)).expect("tsp run failed")
+}
+
+fn tsp_main(ctx: &Ctx, p: TspParams) -> TspResult {
+    let bound = ctx.create(Bound { best: u32::MAX });
+    // The distance matrix is immutable: replicate it everywhere cheaply.
+    let cities = ctx.create(Cities::seeded(p.cities, p.seed));
+    ctx.set_immutable(&cities);
+
+    let (m0, _) = ctx.net_totals();
+    let t0 = ctx.now();
+    let mut handles = Vec::new();
+    for first in 1..p.cities {
+        let node = NodeId::from((first - 1) % p.nodes);
+        let anchor = ctx.create_on(node, 0u8);
+        let h = ctx.start(&anchor, move |ctx, _| {
+            // One shared read replicates the matrix here; the snapshot puts
+            // it in this frame so the search stays anchored to this node.
+            let c = ctx.invoke_shared(&cities, |_, c| c.snapshot());
+            let n = c.n;
+            let mut visited = vec![false; n];
+            visited[0] = true;
+            visited[first] = true;
+            let mut path = vec![0usize, first];
+            let mut local_best = u32::MAX;
+            let mut since_sync = 0usize;
+            search(
+                ctx,
+                &c,
+                &bound,
+                &mut visited,
+                &mut path,
+                c.d(0, first),
+                &mut local_best,
+                &mut since_sync,
+                p,
+            );
+        });
+        handles.push(h);
+    }
+    for h in handles {
+        h.join(ctx);
+    }
+    let best = ctx.invoke_shared(&bound, |_, b| b.best);
+    let (m1, _) = ctx.net_totals();
+    TspResult {
+        best,
+        elapsed: ctx.now() - t0,
+        msgs: m1 - m0,
+    }
+}
+
+#[allow(clippy::too_many_arguments)]
+fn search(
+    ctx: &Ctx,
+    c: &Cities,
+    bound: &amber_core::ObjRef<Bound>,
+    visited: &mut [bool],
+    path: &mut Vec<usize>,
+    len: u32,
+    local_best: &mut u32,
+    since_sync: &mut usize,
+    p: TspParams,
+) {
+    let n = c.n;
+    let last = *path.last().expect("path never empty");
+    if path.len() == n {
+        let total = len + c.d(last, 0);
+        if total < *local_best {
+            *local_best = total;
+            // A new best is always published immediately.
+            ctx.invoke(bound, |_, b| {
+                if total < b.best {
+                    b.best = total;
+                }
+            });
+        }
+        return;
+    }
+    ctx.work(p.expand_cost);
+    *since_sync += 1;
+    if *since_sync >= p.sync_every {
+        *since_sync = 0;
+        let global = ctx.invoke_shared(bound, |_, b| b.best);
+        *local_best = (*local_best).min(global);
+    }
+    if len >= *local_best {
+        return;
+    }
+    for next in 1..n {
+        if !visited[next] {
+            visited[next] = true;
+            path.push(next);
+            search(ctx, c, bound, visited, path, len + c.d(last, next), local_best, since_sync, p);
+            path.pop();
+            visited[next] = false;
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn distributed_finds_the_sequential_optimum() {
+        let p = TspParams::small(3, 50);
+        let seq = tsp_sequential(&p);
+        let par = run_tsp(p);
+        assert_eq!(par.best, seq);
+    }
+
+    #[test]
+    fn hot_shared_bound_costs_more_traffic_than_periodic_sync() {
+        let mut hot = TspParams::small(4, 1);
+        hot.cities = 8; // keep the hot variant's event count modest
+        let mut lazy = TspParams::small(4, 200);
+        lazy.cities = 8;
+        let r_hot = run_tsp(hot);
+        let r_lazy = run_tsp(lazy);
+        assert_eq!(r_hot.best, r_lazy.best, "pruning must not change the optimum");
+        assert!(
+            r_hot.msgs > 5 * r_lazy.msgs,
+            "hot bound {} msgs vs lazy {} msgs",
+            r_hot.msgs,
+            r_lazy.msgs
+        );
+        assert!(
+            r_hot.elapsed > r_lazy.elapsed,
+            "hot {} vs lazy {}",
+            r_hot.elapsed,
+            r_lazy.elapsed
+        );
+    }
+
+    #[test]
+    fn sequential_oracle_is_stable() {
+        let p = TspParams::small(1, 1);
+        assert_eq!(tsp_sequential(&p), tsp_sequential(&p));
+    }
+}

@@ -1,0 +1,117 @@
+//! Criterion benches for the mobility machinery (DESIGN.md experiments A4
+//! and A5): virtual-time cost of locating through forwarding chains of
+//! increasing length (with and without the hint caching that collapses
+//! them), and of moving attachment groups of increasing size.
+//!
+//! These report *virtual* latencies via iter_custom, so criterion's
+//! statistics describe the protocol, not the host.
+
+use std::time::Duration;
+
+use amber_core::{Cluster, NodeId};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+
+/// Virtual time of the first locate through a chain of `len` hops.
+fn locate_chain_cold(len: usize) -> Duration {
+    let c = Cluster::sim(len + 2, 1);
+    let d = c
+        .run(move |ctx| {
+            let obj = ctx.create(0u32);
+            for hop in 1..=len {
+                ctx.move_to(&obj, NodeId(hop as u16));
+            }
+            // A probe from the last node of the chain would be direct; probe
+            // from an uninvolved node so the chain is walked in full.
+            let t0 = ctx.now();
+            ctx.locate(&obj);
+            (ctx.now() - t0).to_duration()
+        })
+        .unwrap();
+    d
+}
+
+/// Virtual time of a locate after a previous probe cached the location.
+fn locate_chain_warm(len: usize) -> Duration {
+    let c = Cluster::sim(len + 2, 1);
+    c.run(move |ctx| {
+        let obj = ctx.create(0u32);
+        for hop in 1..=len {
+            ctx.move_to(&obj, NodeId(hop as u16));
+        }
+        ctx.locate(&obj); // warms the local hint
+        let t0 = ctx.now();
+        ctx.locate(&obj);
+        (ctx.now() - t0).to_duration()
+    })
+    .unwrap()
+}
+
+/// Virtual time of moving an attachment group of `size` objects.
+fn move_group(size: usize) -> Duration {
+    let c = Cluster::sim(2, 1);
+    c.run(move |ctx| {
+        let root = ctx.create(vec![0u8; 256]);
+        for _ in 0..size.saturating_sub(1) {
+            let child = ctx.create(vec![0u8; 256]);
+            ctx.attach(&child, &root);
+        }
+        let t0 = ctx.now();
+        ctx.move_to(&root, NodeId(1));
+        (ctx.now() - t0).to_duration()
+    })
+    .unwrap()
+}
+
+fn bench_forwarding(c: &mut Criterion) {
+    let mut g = c.benchmark_group("locate_forwarding_chain");
+    for len in [0usize, 1, 2, 4, 8] {
+        g.bench_with_input(BenchmarkId::new("cold", len), &len, |b, &len| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += locate_chain_cold(len);
+                }
+                total
+            })
+        });
+        g.bench_with_input(BenchmarkId::new("warm", len), &len, |b, &len| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += locate_chain_warm(len);
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+fn bench_group_moves(c: &mut Criterion) {
+    let mut g = c.benchmark_group("move_attachment_group");
+    for size in [1usize, 2, 4, 8, 16] {
+        g.bench_with_input(BenchmarkId::from_parameter(size), &size, |b, &size| {
+            b.iter_custom(|iters| {
+                let mut total = Duration::ZERO;
+                for _ in 0..iters {
+                    total += move_group(size);
+                }
+                total
+            })
+        });
+    }
+    g.finish();
+}
+
+criterion_group! {
+    name = benches;
+    // Virtual-time measurements are deterministic (zero variance), which
+    // criterion's plotting backend cannot chart; keep the statistics,
+    // skip the plots.
+    config = Criterion::default()
+        .sample_size(10)
+        .measurement_time(Duration::from_secs(2))
+        .without_plots();
+    targets = bench_forwarding, bench_group_moves
+}
+criterion_main!(benches);

@@ -1,0 +1,96 @@
+//! Criterion benchmarks of runtime primitives: wall-clock cost of the
+//! reproduction's machinery. The simulator figures (Table 1 etc.) measure
+//! *virtual* time; these measure how fast the engines themselves run.
+
+use amber_core::{Cluster, CostModel, EngineChoice, LatencyModel, NodeId};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+/// A real-engine cluster with free CPU charges and zero latency: the
+/// numbers are pure runtime overhead.
+fn real(nodes: usize, procs: usize) -> Cluster {
+    Cluster::builder()
+        .nodes(nodes)
+        .processors(procs)
+        .engine(EngineChoice::Real)
+        .cost_model(CostModel::zero())
+        .latency(LatencyModel::zero())
+        .build()
+}
+
+fn bench_real_runtime(c: &mut Criterion) {
+    // `iter_custom` runs the measured loop inside an Amber thread on a
+    // fresh real-engine cluster and reports only the loop's duration.
+    c.bench_function("real_local_invoke", |b| {
+        b.iter_custom(|iters| {
+            let cluster = real(1, 2);
+            cluster
+                .run(move |ctx| {
+                    let obj = ctx.create(0u64);
+                    let t0 = std::time::Instant::now();
+                    for _ in 0..iters {
+                        ctx.invoke(&obj, |_, n| *n += 1);
+                    }
+                    t0.elapsed()
+                })
+                .unwrap()
+        });
+    });
+
+    c.bench_function("real_object_create", |b| {
+        b.iter_custom(|iters| {
+            let cluster = real(1, 2);
+            cluster
+                .run(move |ctx| {
+                    let t0 = std::time::Instant::now();
+                    for _ in 0..iters {
+                        black_box(ctx.create(0u64));
+                    }
+                    t0.elapsed()
+                })
+                .unwrap()
+        });
+    });
+
+    c.bench_function("real_start_join", |b| {
+        b.iter_custom(|iters| {
+            let cluster = real(1, 4);
+            cluster
+                .run(move |ctx| {
+                    let target = ctx.create(0u64);
+                    let t0 = std::time::Instant::now();
+                    for _ in 0..iters {
+                        ctx.start(&target, |_, _| ()).join(ctx);
+                    }
+                    t0.elapsed()
+                })
+                .unwrap()
+        });
+    });
+}
+
+fn bench_sim_throughput(c: &mut Criterion) {
+    c.bench_function("sim_events_ping_pong_1000", |b| {
+        b.iter(|| {
+            let cluster = Cluster::builder()
+                .nodes(2)
+                .processors(1)
+                .cost_model(CostModel::zero())
+                .latency(LatencyModel::fixed(amber_core::SimTime::from_us(10)))
+                .build();
+            cluster
+                .run(|ctx| {
+                    let far = ctx.create_on(NodeId(1), 0u64);
+                    let anchor = ctx.create(0u8);
+                    ctx.invoke(&anchor, |ctx, _| {
+                        for _ in 0..500 {
+                            ctx.invoke(&far, |_, n| *n += 1);
+                        }
+                    });
+                })
+                .unwrap();
+        });
+    });
+}
+
+criterion_group!(benches, bench_real_runtime, bench_sim_throughput);
+criterion_main!(benches);

@@ -1,0 +1,81 @@
+//! Criterion microbenchmarks of the substrate data structures (wall-clock
+//! performance of the reproduction itself, as opposed to the virtual-time
+//! experiments).
+
+use amber_engine::policy::PolicyKind;
+use amber_engine::{NodeId, ThreadId};
+use amber_vspace::{AddressSpaceServer, DescriptorTable, NodeHeap, VAddr};
+use criterion::{black_box, criterion_group, criterion_main, Criterion};
+
+fn bench_heap(c: &mut Criterion) {
+    c.bench_function("heap_alloc_free_cycle", |b| {
+        let mut server = AddressSpaceServer::new();
+        let mut heap = NodeHeap::new(NodeId(0));
+        heap.add_region(server.assign(NodeId(0)));
+        b.iter(|| {
+            let a = loop {
+                match heap.alloc(black_box(128)) {
+                    Ok(a) => break a,
+                    Err(_) => heap.add_region(server.assign(NodeId(0))),
+                }
+            };
+            heap.free(a).unwrap();
+        });
+    });
+
+    c.bench_function("heap_reuse_from_free_pool", |b| {
+        let mut server = AddressSpaceServer::new();
+        let mut heap = NodeHeap::new(NodeId(0));
+        heap.add_region(server.assign(NodeId(0)));
+        // Populate a free pool of mixed sizes.
+        let blocks: Vec<_> = (0..64)
+            .map(|i| heap.alloc(64 + (i % 8) * 64).unwrap())
+            .collect();
+        for a in blocks {
+            heap.free(a).unwrap();
+        }
+        b.iter(|| {
+            let a = heap.alloc(black_box(96)).unwrap();
+            heap.free(a).unwrap();
+        });
+    });
+}
+
+fn bench_descriptors(c: &mut Criterion) {
+    c.bench_function("descriptor_lookup_resident", |b| {
+        let mut t = DescriptorTable::new();
+        for i in 0..1024u64 {
+            t.set_resident(VAddr(i * 64));
+        }
+        b.iter(|| t.lookup(black_box(VAddr(512 * 64))));
+    });
+
+    c.bench_function("descriptor_forward_then_hint", |b| {
+        let mut t = DescriptorTable::new();
+        let a = VAddr(4096);
+        b.iter(|| {
+            t.set_resident(a);
+            t.set_forward(a, NodeId(3));
+            t.cache_hint(a, NodeId(5));
+            black_box(t.lookup(a));
+        });
+    });
+}
+
+fn bench_schedulers(c: &mut Criterion) {
+    for kind in [PolicyKind::Fifo, PolicyKind::Lifo, PolicyKind::Priority] {
+        let mut s = kind.build();
+        let name = format!("scheduler_{}_enqueue_dequeue", s.name());
+        c.bench_function(&name, |b| {
+            let mut i = 0u64;
+            b.iter(|| {
+                i += 1;
+                s.enqueue(ThreadId(i), (i % 7) as i32);
+                black_box(s.dequeue());
+            });
+        });
+    }
+}
+
+criterion_group!(benches, bench_heap, bench_descriptors, bench_schedulers);
+criterion_main!(benches);

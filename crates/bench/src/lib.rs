@@ -1,0 +1,37 @@
+//! Experiment harness for the Amber reproduction.
+//!
+//! Each binary in `src/bin/` regenerates one table or figure of the paper;
+//! this library holds the shared experiment runners so the binaries stay
+//! thin and the integration tests can assert on the same numbers the
+//! binaries print.
+
+#![warn(missing_docs)]
+
+pub mod ablate;
+pub mod ops;
+pub mod sorbench;
+
+/// Prints a header followed by aligned rows (simple fixed-width table).
+pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {
+    println!("\n{title}");
+    println!("{}", "-".repeat(title.len()));
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            widths[i] = widths[i].max(cell.len());
+        }
+    }
+    let fmt_row = |cells: &[String]| {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths[i]))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    let head: Vec<String> = header.iter().map(|s| s.to_string()).collect();
+    println!("{}", fmt_row(&head));
+    for row in rows {
+        println!("{}", fmt_row(row));
+    }
+}

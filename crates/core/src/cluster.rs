@@ -1,0 +1,478 @@
+//! The public face of the runtime: [`Cluster`] and [`Ctx`].
+//!
+//! A `Cluster` owns an engine plus the Amber kernel and runs one program to
+//! completion, as in the paper's model of "a single application that
+//! performs a parallel computation, computes a result, and terminates".
+//! Inside the program, every thread holds a [`Ctx`] through which it
+//! creates, invokes, moves and attaches objects, and starts and joins
+//! threads.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use amber_engine::{
+    must_current_thread, CostModel, Engine, EngineError, EngineExt, LatencyModel, NodeId,
+    PolicyKind, RealEngine, SimEngine, SimTime, ThreadId,
+};
+use amber_vspace::VAddr;
+
+use crate::kernel::Kernel;
+use crate::objref::{AmberObject, ObjRef};
+use crate::stats::ProtocolSnapshot;
+use crate::thread::JoinHandle;
+
+/// Which engine a [`Cluster`] runs on.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineChoice {
+    /// Deterministic virtual-time simulation (default; used by every
+    /// performance experiment).
+    Sim,
+    /// Real OS threads and wall-clock time.
+    Real,
+}
+
+/// Builder for a [`Cluster`].
+///
+/// # Examples
+///
+/// ```
+/// use amber_core::Cluster;
+/// use amber_engine::NodeId;
+///
+/// let cluster = Cluster::builder().nodes(2).processors(2).build();
+/// let sum = cluster
+///     .run(|ctx| {
+///         let counter = ctx.create(0u64);
+///         ctx.invoke(&counter, |_, c| *c += 42);
+///         ctx.invoke(&counter, |_, c| *c)
+///     })
+///     .unwrap();
+/// assert_eq!(sum, 42);
+/// ```
+#[derive(Clone, Debug)]
+pub struct ClusterBuilder {
+    nodes: usize,
+    processors: usize,
+    latency: LatencyModel,
+    cost: CostModel,
+    policy: PolicyKind,
+    engine: EngineChoice,
+    deadline: Option<Duration>,
+}
+
+impl Default for ClusterBuilder {
+    fn default() -> Self {
+        ClusterBuilder {
+            nodes: 1,
+            processors: 1,
+            latency: LatencyModel::ethernet_10mbit(),
+            cost: CostModel::firefly(),
+            policy: PolicyKind::Fifo,
+            engine: EngineChoice::Sim,
+            deadline: None,
+        }
+    }
+}
+
+impl ClusterBuilder {
+    /// Number of nodes (default 1).
+    pub fn nodes(mut self, n: usize) -> Self {
+        self.nodes = n;
+        self
+    }
+
+    /// Processors per node (default 1; the paper's Fireflies had 4).
+    pub fn processors(mut self, p: usize) -> Self {
+        self.processors = p;
+        self
+    }
+
+    /// Network latency model (default: 10 Mbit Ethernet).
+    pub fn latency(mut self, l: LatencyModel) -> Self {
+        self.latency = l;
+        self
+    }
+
+    /// Protocol CPU cost model (default: Firefly calibration).
+    pub fn cost_model(mut self, c: CostModel) -> Self {
+        self.cost = c;
+        self
+    }
+
+    /// Initial per-node scheduling policy (default FIFO).
+    pub fn policy(mut self, p: PolicyKind) -> Self {
+        self.policy = p;
+        self
+    }
+
+    /// Selects the engine (default [`EngineChoice::Sim`]).
+    pub fn engine(mut self, e: EngineChoice) -> Self {
+        self.engine = e;
+        self
+    }
+
+    /// Wall-clock deadline (real engine only) after which the run fails
+    /// with [`EngineError::Timeout`].
+    pub fn deadline(mut self, d: Duration) -> Self {
+        self.deadline = Some(d);
+        self
+    }
+
+    /// Builds the cluster.
+    pub fn build(self) -> Cluster {
+        let spec = amber_engine::ClusterSpec::uniform(self.nodes, self.processors)
+            .with_latency(self.latency)
+            .with_policy(self.policy);
+        let engine: Arc<dyn Engine> = match self.engine {
+            EngineChoice::Sim => Arc::new(SimEngine::new(spec)),
+            EngineChoice::Real => {
+                let mut e = RealEngine::new(spec);
+                if let Some(d) = self.deadline {
+                    e = e.with_deadline(d);
+                }
+                Arc::new(e)
+            }
+        };
+        let kernel = Kernel::new(Arc::clone(&engine), self.cost);
+        Cluster { kernel }
+    }
+}
+
+/// A network of multiprocessor nodes running one Amber program.
+pub struct Cluster {
+    kernel: Arc<Kernel>,
+}
+
+impl Cluster {
+    /// Starts building a cluster.
+    pub fn builder() -> ClusterBuilder {
+        ClusterBuilder::default()
+    }
+
+    /// Shorthand for a simulated `nodes` x `processors` cluster with the
+    /// default Firefly/Ethernet models.
+    pub fn sim(nodes: usize, processors: usize) -> Cluster {
+        Cluster::builder().nodes(nodes).processors(processors).build()
+    }
+
+    /// Runs `main` as the program's main thread on the boot node, waits for
+    /// every thread to finish, and returns `main`'s result.
+    pub fn run<R, F>(&self, main: F) -> Result<R, EngineError>
+    where
+        R: Send + 'static,
+        F: FnOnce(&Ctx) -> R + Send + 'static,
+    {
+        let kernel = Arc::clone(&self.kernel);
+        self.kernel.engine.run(NodeId::BOOT, move || {
+            let tid = must_current_thread();
+            kernel.register_thread(tid);
+            let ctx = Ctx::new(Arc::clone(&kernel));
+            let r = main(&ctx);
+            kernel.unregister_thread(tid);
+            r
+        })
+    }
+
+    /// The engine's current time (virtual or wall-clock).
+    pub fn now(&self) -> SimTime {
+        self.kernel.engine.now()
+    }
+
+    /// Number of nodes.
+    pub fn nodes(&self) -> usize {
+        self.kernel.engine.nodes()
+    }
+
+    /// Network/scheduling counters from the engine.
+    pub fn net_stats(&self) -> Arc<amber_engine::NetStats> {
+        Arc::clone(self.kernel.engine.stats())
+    }
+
+    /// Protocol counters from the runtime.
+    pub fn protocol_stats(&self) -> ProtocolSnapshot {
+        self.kernel.pstats.snapshot()
+    }
+
+    /// Debug dump of every object's admission state:
+    /// `(addr, exclusive_owner, shared_count, queued_waiters, moving)`.
+    /// Intended for post-mortem inspection after a deadlock report.
+    #[doc(hidden)]
+    pub fn debug_admission(&self) -> Vec<(VAddr, Option<ThreadId>, u32, usize, bool)> {
+        let objects = self.kernel.objects.lock();
+        let mut v: Vec<_> = objects
+            .iter()
+            .map(|(a, e)| (*a, e.excl_owner, e.shared_count, e.op_waiters.len(), e.moving))
+            .collect();
+        v.sort_by_key(|(a, ..)| *a);
+        v
+    }
+}
+
+/// A thread's handle to the Amber runtime.
+///
+/// Every Amber thread body and every object operation receives a `&Ctx`.
+/// All primitives of the paper's programming model hang off it.
+pub struct Ctx {
+    kernel: Arc<Kernel>,
+}
+
+impl Ctx {
+    pub(crate) fn new(kernel: Arc<Kernel>) -> Ctx {
+        Ctx { kernel }
+    }
+
+    pub(crate) fn kernel(&self) -> &Arc<Kernel> {
+        &self.kernel
+    }
+
+    /// The engine-level id of the calling thread.
+    pub fn thread_id(&self) -> ThreadId {
+        must_current_thread()
+    }
+
+    /// The node the calling thread is currently executing on.
+    pub fn node(&self) -> NodeId {
+        self.kernel.current_node()
+    }
+
+    /// Number of nodes in the cluster.
+    pub fn nodes(&self) -> usize {
+        self.kernel.engine.nodes()
+    }
+
+    /// Number of processors on `node`.
+    pub fn processors(&self, node: NodeId) -> usize {
+        self.kernel.engine.processors(node)
+    }
+
+    /// The cost model in force (for applications that charge modelled
+    /// compute via [`work`](Ctx::work)).
+    pub fn cost_model(&self) -> &CostModel {
+        &self.kernel.cost
+    }
+
+    /// Current time.
+    pub fn now(&self) -> SimTime {
+        self.kernel.engine.now()
+    }
+
+    // ----- objects ------------------------------------------------------
+
+    /// Creates an object on the calling thread's current node.
+    pub fn create<T: AmberObject>(&self, value: T) -> ObjRef<T> {
+        self.kernel.create_local(self.node(), value)
+    }
+
+    /// Creates an object on `node` (a remote creation request if `node` is
+    /// not the current node).
+    pub fn create_on<T: AmberObject>(&self, node: NodeId, value: T) -> ObjRef<T> {
+        if node == self.node() {
+            self.kernel.create_local(node, value)
+        } else {
+            self.kernel.create_remote(node, value)
+        }
+    }
+
+    /// Invokes an exclusive operation (`&mut T`) on the object, wherever it
+    /// is: the calling thread migrates to the object's node if necessary
+    /// and returns to this frame's node afterwards.
+    pub fn invoke<T: AmberObject, R>(
+        &self,
+        obj: &ObjRef<T>,
+        op: impl FnOnce(&Ctx, &mut T) -> R,
+    ) -> R {
+        self.kernel.invoke_exclusive(self, obj, op)
+    }
+
+    /// Like [`invoke`](Ctx::invoke), but charges `carry` extra bytes of
+    /// by-value arguments on the outbound trip — the idiom for operations
+    /// whose arguments are bulk data, like the SOR edge exchange ("the
+    /// values for an entire edge of a section ... transferred in a single
+    /// invocation", section 6).
+    pub fn invoke_carrying<T: AmberObject, R>(
+        &self,
+        obj: &ObjRef<T>,
+        carry: usize,
+        op: impl FnOnce(&Ctx, &mut T) -> R,
+    ) -> R {
+        self.kernel.invoke_exclusive_carrying(self, obj, carry, op)
+    }
+
+    /// Invokes a shared operation (`&T`): concurrent with other shared
+    /// operations on the same object, and served by a local replica when
+    /// the object is immutable.
+    pub fn invoke_shared<T: AmberObject, R>(
+        &self,
+        obj: &ObjRef<T>,
+        op: impl FnOnce(&Ctx, &T) -> R,
+    ) -> R {
+        self.kernel.invoke_shared(self, obj, op)
+    }
+
+    /// Like [`invoke_shared`](Ctx::invoke_shared), but charges `carry`
+    /// extra bytes of by-value arguments on the outbound trip. The shared
+    /// counterpart of [`invoke_carrying`](Ctx::invoke_carrying), for bulk
+    /// operations whose effects are confined to interior-mutable state
+    /// (e.g. installing a ghost row of atomics while compute proceeds).
+    pub fn invoke_shared_carrying<T: AmberObject, R>(
+        &self,
+        obj: &ObjRef<T>,
+        carry: usize,
+        op: impl FnOnce(&Ctx, &T) -> R,
+    ) -> R {
+        self.kernel.invoke_shared_carrying(self, obj, carry, op)
+    }
+
+    /// Destroys an idle object, returning its heap block for reuse.
+    pub fn destroy<T: AmberObject>(&self, obj: ObjRef<T>) {
+        self.kernel.destroy(obj.addr());
+    }
+
+    // ----- mobility -----------------------------------------------------
+
+    /// Moves the object (and its attachment group) to `node`; copies it
+    /// instead if it is immutable. The MoveTo primitive.
+    pub fn move_to<T: AmberObject>(&self, obj: &ObjRef<T>, node: NodeId) {
+        self.kernel.move_to(obj.addr(), node);
+    }
+
+    /// Finds the node where the object currently resides. The Locate
+    /// primitive: follows the forwarding chain with control probes.
+    pub fn locate<T: AmberObject>(&self, obj: &ObjRef<T>) -> NodeId {
+        self.kernel.locate(obj.addr())
+    }
+
+    /// Attaches `child` to `parent`: co-located now and moved together from
+    /// now on. The Attach primitive.
+    pub fn attach<A: AmberObject, B: AmberObject>(&self, child: &ObjRef<A>, parent: &ObjRef<B>) {
+        self.kernel.attach(child.addr(), parent.addr());
+    }
+
+    /// Detaches a previously attached object. The Unattach primitive.
+    pub fn unattach<A: AmberObject>(&self, child: &ObjRef<A>) {
+        self.kernel.unattach(child.addr());
+    }
+
+    /// Marks the object immutable; it may never be mutated again, moves
+    /// become copies, and shared invocations replicate it locally.
+    pub fn set_immutable<T: AmberObject>(&self, obj: &ObjRef<T>) {
+        self.kernel.set_immutable(obj.addr());
+    }
+
+    /// `true` if the object has been marked immutable.
+    pub fn is_immutable<T: AmberObject>(&self, obj: &ObjRef<T>) -> bool {
+        self.kernel.is_immutable(obj.addr())
+    }
+
+    // ----- threads ------------------------------------------------------
+
+    /// Starts a new thread executing `op` on `target`; the Start primitive.
+    pub fn start<T, R>(
+        &self,
+        target: &ObjRef<T>,
+        op: impl FnOnce(&Ctx, &mut T) -> R + Send + 'static,
+    ) -> JoinHandle<R>
+    where
+        T: AmberObject,
+        R: Send + Sync + 'static,
+    {
+        self.kernel.start_thread(target, op)
+    }
+
+    // ----- scheduling and time ------------------------------------------
+
+    /// Charges `cost` of modelled CPU work (simulator); a no-op on the real
+    /// engine, where real code has real cost. Also performs the
+    /// context-switch residency re-check.
+    pub fn work(&self, cost: SimTime) {
+        self.kernel.work(cost);
+    }
+
+    /// Runs `f` and charges `cost` of modelled time for it: the idiom for
+    /// application compute that must be visible to the virtual clock.
+    pub fn compute<R>(&self, cost: SimTime, f: impl FnOnce() -> R) -> R {
+        let r = f();
+        self.kernel.work(cost);
+        r
+    }
+
+    /// Parks the calling thread until [`unpark`](Ctx::unpark). Building
+    /// block for synchronization objects; see `amber-sync`.
+    ///
+    /// Never call this while inside an *exclusive* object operation that
+    /// another thread must enter to wake you — park/wake loops belong
+    /// outside invocations (see `amber-sync` for the pattern).
+    pub fn park(&self, reason: &'static str) {
+        self.kernel.park(reason);
+    }
+
+    /// Wakes a parked thread. A wake that races ahead of the park is not
+    /// lost.
+    pub fn unpark(&self, thread: ThreadId) {
+        self.kernel.unpark(thread);
+    }
+
+    /// Yields the processor to another runnable thread on this node.
+    ///
+    /// Note for simulated runs: yielding consumes no virtual time, so a
+    /// spin loop built from `yield_now` alone keeps its thread perpetually
+    /// runnable and the virtual clock can never advance past it. Charge a
+    /// small poll cost with [`work`](Ctx::work) in every spin loop (as
+    /// [`amber_sync::SpinLock`] does).
+    pub fn yield_now(&self) {
+        self.kernel.engine.yield_now();
+        self.kernel.recheck_residency();
+    }
+
+    /// Suspends the calling thread for `duration`.
+    pub fn sleep(&self, duration: SimTime) {
+        self.kernel.engine.sleep(duration);
+        self.kernel.recheck_residency();
+    }
+
+    /// Sets the calling thread's scheduling priority (used by the
+    /// priority policy).
+    pub fn set_priority(&self, priority: i32) {
+        self.kernel.engine.set_priority(self.thread_id(), priority);
+    }
+
+    /// Installs a new scheduler on `node` at runtime — the paper's
+    /// replaceable scheduler object.
+    pub fn install_scheduler(
+        &self,
+        node: NodeId,
+        scheduler: Box<dyn amber_engine::policy::Scheduler>,
+    ) {
+        self.kernel.engine.set_scheduler(node, scheduler);
+    }
+
+    /// Protocol counters so far.
+    pub fn protocol_stats(&self) -> ProtocolSnapshot {
+        self.kernel.pstats.snapshot()
+    }
+
+    /// Cluster-wide network totals so far: `(messages, payload bytes)`.
+    /// Take two snapshots to attribute traffic to a program phase.
+    pub fn net_totals(&self) -> (u64, u64) {
+        let s = self.kernel.engine.stats();
+        (s.total_msgs(), s.total_bytes())
+    }
+
+    // ----- substrate hooks ------------------------------------------------
+
+    /// Sends one network message of `bytes` payload from `from` to `to` and
+    /// parks the calling thread until it is delivered.
+    ///
+    /// This is the raw transport hook for alternative memory systems built
+    /// beside the object space (the Ivy-style DSM baseline uses it for its
+    /// coherence traffic). Object programs never need it: invocation and
+    /// mobility already pay for their own messages.
+    pub fn net_wait(&self, from: NodeId, to: NodeId, bytes: usize, reason: &'static str) {
+        self.kernel.one_way(from, to, bytes, reason);
+    }
+
+    /// Raw address of an object (for diagnostics and tests).
+    pub fn addr_of<T: AmberObject>(&self, obj: &ObjRef<T>) -> VAddr {
+        obj.addr()
+    }
+}

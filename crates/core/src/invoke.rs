@@ -1,0 +1,468 @@
+//! Location-independent invocation: the residency protocol.
+//!
+//! This module implements the paper's sections 3.2-3.5:
+//!
+//! * an invocation pushes its frame *first*, then checks the local
+//!   descriptor (so a concurrent move always sees the thread as bound);
+//! * a non-resident descriptor traps: the thread migrates along the
+//!   forwarding chain, or via the object's home node when the descriptor is
+//!   uninitialized;
+//! * the return path pops the frame and re-checks the *enclosing* frame's
+//!   object — if that object moved (or the thread executed remotely), the
+//!   thread ships back to wherever the enclosing object now lives;
+//! * a residency re-check also runs at every "context switch in" (wake-ups
+//!   and work charges), which is how threads bound to a moved object chase
+//!   it lazily, exactly as in the paper.
+//!
+//! Operations on a payload run under an access protocol (exclusive `&mut T`
+//! or shared `&T`) with kernel-managed waiter queues, standing in for the
+//! intra-node hardware synchronization of a real multiprocessor node.
+
+use std::sync::Arc;
+
+use amber_engine::{must_current_thread, NodeId, ThreadId};
+use amber_vspace::{Residency, VAddr};
+
+use crate::kernel::{Access, Kernel, ObjectCell, OpWaiter, ThreadRec};
+use crate::objref::ObjRef;
+use crate::stats::ProtocolStats;
+
+impl Kernel {
+    /// Registers a new thread record. Engines own scheduling state; this is
+    /// the runtime's frame bookkeeping.
+    pub(crate) fn register_thread(&self, tid: ThreadId) {
+        self.threads.lock().insert(
+            tid,
+            ThreadRec {
+                frames: Vec::new(),
+                carry_bytes: 0,
+            },
+        );
+    }
+
+    /// Drops a finished thread's record.
+    pub(crate) fn unregister_thread(&self, tid: ThreadId) {
+        self.threads.lock().remove(&tid);
+    }
+
+    fn push_frame(&self, tid: ThreadId, addr: VAddr) {
+        self.threads
+            .lock()
+            .get_mut(&tid)
+            .expect("frame push on unregistered thread")
+            .frames
+            .push(addr);
+        let mut objects = self.objects.lock();
+        if let Some(e) = objects.get_mut(&addr) {
+            *e.bound.entry(tid).or_insert(0) += 1;
+        }
+    }
+
+    fn pop_frame(&self, tid: ThreadId, addr: VAddr) {
+        let popped = self
+            .threads
+            .lock()
+            .get_mut(&tid)
+            .expect("frame pop on unregistered thread")
+            .frames
+            .pop();
+        debug_assert_eq!(popped, Some(addr), "frame stack corrupted");
+        let mut objects = self.objects.lock();
+        if let Some(e) = objects.get_mut(&addr) {
+            if let Some(depth) = e.bound.get_mut(&tid) {
+                *depth -= 1;
+                if *depth == 0 {
+                    e.bound.remove(&tid);
+                }
+            }
+        }
+    }
+
+    /// The object whose operation the current thread is executing, if any.
+    pub(crate) fn enclosing_frame(&self, tid: ThreadId) -> Option<VAddr> {
+        self.threads
+            .lock()
+            .get(&tid)
+            .and_then(|r| r.frames.last().copied())
+    }
+
+    /// Migrates the current thread one network hop, charging the full
+    /// trap/marshal/wire/dispatch path plus any by-value argument payload
+    /// the thread is carrying.
+    fn migrate_current(&self, from: NodeId, to: NodeId) {
+        let me = must_current_thread();
+        debug_assert_ne!(from, to);
+        let carry = self
+            .threads
+            .lock()
+            .get(&me)
+            .map(|r| r.carry_bytes)
+            .unwrap_or(0);
+        self.engine.work(self.cost.remote_trap);
+        self.engine.work(self.cost.thread_marshal);
+        let engine = Arc::clone(&self.engine);
+        let arrived = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let arrived2 = Arc::clone(&arrived);
+        self.engine.send(
+            from,
+            to,
+            self.cost.thread_packet_bytes + carry,
+            Box::new(move || {
+                engine.set_node(me, to);
+                arrived2.store(true, std::sync::atomic::Ordering::Release);
+                engine.unblock_kernel(me);
+            }),
+        );
+        // Kernel-class, predicate-guarded wait: a user wake-up aimed at
+        // this thread (a lock hand-off, a barrier release) is held pending
+        // instead of leaking into the migration wait.
+        while !arrived.load(std::sync::atomic::Ordering::Acquire) {
+            self.engine.block_kernel("thread-migration");
+        }
+        self.engine.work(self.cost.remote_dispatch);
+        ProtocolStats::bump(&self.pstats.thread_migrations);
+    }
+
+    /// Runs the residency protocol until the object at `addr` is local to
+    /// the current thread (resident, or replicated when `allow_replica`).
+    /// Returns the node the thread ends up on.
+    ///
+    /// # Panics
+    ///
+    /// Panics on references to destroyed objects.
+    pub(crate) fn ensure_at_object(&self, addr: VAddr, allow_replica: bool) -> NodeId {
+        let me = must_current_thread();
+        let mut hops: u32 = 0;
+        let mut visited: Vec<NodeId> = Vec::new();
+        loop {
+            let here = self.engine.node_of(me);
+            // If a move of this object is in flight, wait for it to install
+            // rather than chasing descriptors mid-transfer.
+            {
+                let mut objects = self.objects.lock();
+                match objects.get_mut(&addr) {
+                    Some(e) if e.moving => {
+                        e.move_waiters.push(me);
+                        drop(objects);
+                        self.engine.block_kernel("await-move-install");
+                        continue;
+                    }
+                    Some(_) => {}
+                    None => panic!("reference to destroyed or unknown object {addr}"),
+                }
+            }
+            let desc = self.nodes[here.index()].descriptors.lock().lookup(addr);
+            let next = match desc {
+                Some(Residency::Resident) => {
+                    // "the object's last known location is cached on all
+                    // nodes along the chain" (section 3.3).
+                    for n in visited {
+                        if n != here {
+                            self.nodes[n.index()].descriptors.lock().cache_hint(addr, here);
+                        }
+                    }
+                    return here;
+                }
+                Some(Residency::Replica) if allow_replica => return here,
+                Some(Residency::Replica) => {
+                    // A replica exists but exclusive access was requested;
+                    // immutable objects cannot be mutated.
+                    panic!("exclusive invocation of immutable object {addr}")
+                }
+                Some(Residency::Forward(n)) => {
+                    ProtocolStats::bump(&self.pstats.forward_hops);
+                    self.engine.work(self.cost.forward_hop);
+                    n
+                }
+                None => {
+                    // Uninitialized descriptor: route via the home node.
+                    ProtocolStats::bump(&self.pstats.home_routes);
+                    self.home_of(here, addr)
+                }
+            };
+            if next == here {
+                // A stale self-hint; consult ground truth to break the tie
+                // (the descriptor write that makes it fresh is in flight).
+                let loc = self
+                    .objects
+                    .lock()
+                    .get(&addr)
+                    .map(|e| e.location)
+                    .expect("object vanished mid-chase");
+                if loc == here {
+                    // Truly here but the descriptor lagged; repair it.
+                    self.nodes[here.index()].descriptors.lock().set_resident(addr);
+                    continue;
+                }
+                self.nodes[here.index()].descriptors.lock().cache_hint(addr, loc);
+                continue;
+            }
+            hops += 1;
+            assert!(
+                hops < 10_000,
+                "forwarding chase for {addr} did not converge"
+            );
+            visited.push(here);
+            self.migrate_current(here, next);
+        }
+    }
+
+    /// The context-switch-in residency re-check (section 3.5): if the
+    /// current thread's enclosing object has moved away from this node, the
+    /// thread chases it before doing anything else.
+    pub(crate) fn recheck_residency(&self) {
+        let Some(me) = amber_engine::current_thread() else {
+            return;
+        };
+        let Some(addr) = self.enclosing_frame(me) else {
+            return;
+        };
+        let here = self.engine.node_of(me);
+        let local = self.nodes[here.index()].descriptors.lock().is_local(addr);
+        if !local {
+            self.ensure_at_object(addr, true);
+        }
+    }
+
+    /// Acquires the payload in `access` mode, parking behind current
+    /// operations if necessary. Returns the payload cell.
+    fn acquire_payload(&self, addr: VAddr, access: Access) -> Arc<ObjectCell> {
+        let me = must_current_thread();
+        loop {
+            let mut objects = self.objects.lock();
+            let e = objects
+                .get_mut(&addr)
+                .expect("invocation of destroyed object");
+            assert_ne!(
+                e.excl_owner,
+                Some(me),
+                "re-entrant invocation of object {addr} (operation invoked itself)"
+            );
+            let excl_queued = e
+                .op_waiters
+                .iter()
+                .any(|w| w.access == Access::Exclusive && w.thread != me);
+            let granted = match access {
+                Access::Exclusive => e.excl_owner.is_none() && e.shared_count == 0,
+                // Shared admissions do not barge past a queued exclusive
+                // waiter; otherwise a steady stream of shared operations
+                // (e.g. SOR workers) starves arriving edge installs.
+                Access::Shared => e.excl_owner.is_none() && !excl_queued,
+            };
+            if granted {
+                match access {
+                    Access::Exclusive => e.excl_owner = Some(me),
+                    Access::Shared => e.shared_count += 1,
+                }
+                // Clear any stale registration left by a spurious wake-up.
+                e.op_waiters.retain(|w| w.thread != me);
+                return Arc::clone(&e.cell);
+            }
+            if !e.op_waiters.iter().any(|w| w.thread == me) {
+                e.op_waiters.push_back(OpWaiter { thread: me, access });
+            }
+            drop(objects);
+            self.engine.block_kernel("object-op-wait");
+            // Re-run the admission check (every park in the runtime is
+            // predicate-guarded: wake-ups may be spurious).
+        }
+    }
+
+    /// Releases the payload and wakes every queued waiter; the woken
+    /// threads re-run the admission check and re-queue if they lose.
+    ///
+    /// Waking everyone (rather than the exact admissible set) is the
+    /// missed-wakeup-proof choice: threads can be woken spuriously for
+    /// other reasons and re-register, so precise hand-off bookkeeping would
+    /// have to chase stale entries.
+    fn release_payload(&self, addr: VAddr, access: Access) {
+        let mut objects = self.objects.lock();
+        let e = match objects.get_mut(&addr) {
+            Some(e) => e,
+            // Destroy during release cannot happen (destroy asserts idle),
+            // but be tolerant in release paths.
+            None => return,
+        };
+        match access {
+            Access::Exclusive => {
+                debug_assert_eq!(e.excl_owner, Some(must_current_thread()));
+                e.excl_owner = None;
+                // Refresh the wire size after mutation.
+                if let Some(data) = e.cell.data.try_read() {
+                    e.size = (e.size_fn)(&**data);
+                }
+            }
+            Access::Shared => {
+                debug_assert!(e.shared_count > 0);
+                e.shared_count -= 1;
+            }
+        }
+        if e.shared_count > 0 {
+            // Shared operations still draining; the last one admits waiters.
+            return;
+        }
+        let to_wake: Vec<ThreadId> = e.op_waiters.drain(..).map(|w| w.thread).collect();
+        drop(objects);
+        for t in to_wake {
+            self.engine.unblock_kernel(t);
+        }
+    }
+
+    /// Exclusive invocation: `op` receives `&mut T`.
+    ///
+    /// Runs the full residency protocol: frame push, descriptor check (with
+    /// migration), payload admission, execution, release, frame pop, and the
+    /// return-time re-check that ships the thread back to its enclosing
+    /// object's node.
+    pub(crate) fn invoke_exclusive<T: 'static, R>(
+        &self,
+        ctx: &crate::cluster::Ctx,
+        obj: &ObjRef<T>,
+        op: impl FnOnce(&crate::cluster::Ctx, &mut T) -> R,
+    ) -> R {
+        self.invoke_exclusive_carrying(ctx, obj, 0, op)
+    }
+
+    /// [`invoke_exclusive`](Kernel::invoke_exclusive) with `carry` extra
+    /// bytes of by-value arguments charged on the outbound migration (the
+    /// return trip carries only the thread).
+    pub(crate) fn invoke_exclusive_carrying<T: 'static, R>(
+        &self,
+        ctx: &crate::cluster::Ctx,
+        obj: &ObjRef<T>,
+        carry: usize,
+        op: impl FnOnce(&crate::cluster::Ctx, &mut T) -> R,
+    ) -> R {
+        let me = must_current_thread();
+        let addr = obj.addr();
+        let start_node = self.engine.node_of(me);
+        {
+            let objects = self.objects.lock();
+            let e = objects
+                .get(&addr)
+                .unwrap_or_else(|| panic!("reference to destroyed or unknown object {addr}"));
+            assert!(
+                !e.immutable,
+                "exclusive invocation of immutable object {addr}"
+            );
+        }
+        // Frame first, then the residency check (section 3.5 ordering).
+        self.push_frame(me, addr);
+        if carry > 0 {
+            if let Some(r) = self.threads.lock().get_mut(&me) {
+                r.carry_bytes = carry;
+            }
+        }
+        let at = self.ensure_at_object(addr, false);
+        if carry > 0 {
+            if let Some(r) = self.threads.lock().get_mut(&me) {
+                r.carry_bytes = 0;
+            }
+        }
+        if at != start_node {
+            ProtocolStats::bump(&self.pstats.remote_invokes);
+        } else {
+            ProtocolStats::bump(&self.pstats.local_invokes);
+        }
+        self.engine.work(self.cost.local_invoke);
+        let cell = self.acquire_payload(addr, Access::Exclusive);
+        let result = {
+            let mut data = cell.data.write();
+            let t: &mut T = data
+                .downcast_mut::<T>()
+                .expect("object payload type confusion");
+            op(ctx, t)
+        };
+        self.release_payload(addr, Access::Exclusive);
+        self.pop_frame(me, addr);
+        self.engine.work(self.cost.local_return);
+        self.return_to_enclosing();
+        result
+    }
+
+    /// Shared invocation: `op` receives `&T`; concurrent with other shared
+    /// invocations of the same object, and served by a local replica when
+    /// the object is immutable.
+    pub(crate) fn invoke_shared<T: 'static, R>(
+        &self,
+        ctx: &crate::cluster::Ctx,
+        obj: &ObjRef<T>,
+        op: impl FnOnce(&crate::cluster::Ctx, &T) -> R,
+    ) -> R {
+        self.invoke_shared_carrying(ctx, obj, 0, op)
+    }
+
+    /// [`invoke_shared`](Kernel::invoke_shared) with `carry` extra bytes of
+    /// by-value arguments charged on the outbound migration.
+    pub(crate) fn invoke_shared_carrying<T: 'static, R>(
+        &self,
+        ctx: &crate::cluster::Ctx,
+        obj: &ObjRef<T>,
+        carry: usize,
+        op: impl FnOnce(&crate::cluster::Ctx, &T) -> R,
+    ) -> R {
+        let me = must_current_thread();
+        let addr = obj.addr();
+        let start_node = self.engine.node_of(me);
+        self.push_frame(me, addr);
+        if carry > 0 {
+            if let Some(r) = self.threads.lock().get_mut(&me) {
+                r.carry_bytes = carry;
+            }
+        }
+        // Immutable objects replicate to the caller instead of shipping the
+        // caller (section 2.3's read-only replication).
+        let immutable = self
+            .objects
+            .lock()
+            .get(&addr)
+            .map(|e| e.immutable)
+            .unwrap_or_else(|| panic!("reference to destroyed or unknown object {addr}"));
+        let at = if immutable {
+            self.replicate_here(addr);
+            start_node
+        } else {
+            self.ensure_at_object(addr, true)
+        };
+        if carry > 0 {
+            if let Some(r) = self.threads.lock().get_mut(&me) {
+                r.carry_bytes = 0;
+            }
+        }
+        if at != start_node {
+            ProtocolStats::bump(&self.pstats.remote_invokes);
+        } else {
+            ProtocolStats::bump(&self.pstats.local_invokes);
+        }
+        self.engine.work(self.cost.local_invoke);
+        let cell = self.acquire_payload(addr, Access::Shared);
+        let result = {
+            let data = cell.data.read();
+            let t: &T = data
+                .downcast_ref::<T>()
+                .expect("object payload type confusion");
+            op(ctx, t)
+        };
+        self.release_payload(addr, Access::Shared);
+        self.pop_frame(me, addr);
+        self.engine.work(self.cost.local_return);
+        self.return_to_enclosing();
+        result
+    }
+
+    /// Return-time residency check: after popping a frame, if the enclosing
+    /// frame's object is not local, ship the thread back to it.
+    fn return_to_enclosing(&self) {
+        let me = must_current_thread();
+        if let Some(enclosing) = self.enclosing_frame(me) {
+            let here = self.engine.node_of(me);
+            let local = self.nodes[here.index()]
+                .descriptors
+                .lock()
+                .is_local(enclosing);
+            if !local {
+                self.ensure_at_object(enclosing, true);
+            }
+        }
+    }
+}

@@ -1,0 +1,370 @@
+//! The Amber kernel: cluster-wide object registry and per-node state.
+//!
+//! One `Kernel` underlies a whole cluster. It owns:
+//!
+//! * the global object registry — payloads plus mobility metadata (location,
+//!   immutability, attachment, bound threads, in-progress moves);
+//! * per-node state — descriptor tables, heaps, and region-map caches from
+//!   `amber-vspace`;
+//! * the address-space server (logically on the boot node; consulting it
+//!   from elsewhere is charged as a network round trip);
+//! * protocol statistics.
+//!
+//! The registry being ordinary process memory is the reproduction of the
+//! paper's identically-arranged virtual address spaces: an address means
+//! the same thing everywhere, and *residency* is pure metadata. All costs of
+//! distribution come from the explicit protocol charges and messages issued
+//! by the methods in this crate, never from the data structures themselves.
+
+use std::any::Any;
+use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
+
+use amber_engine::{
+    must_current_thread, CostModel, Engine, NodeId, SimTime, ThreadId,
+};
+use amber_vspace::{
+    AddressSpaceServer, DescriptorTable, HeapError, NodeHeap, RegionMap, VAddr,
+};
+use parking_lot::{Mutex, RwLock};
+
+use crate::objref::{AmberObject, ObjRef};
+use crate::stats::ProtocolStats;
+
+/// Access mode requested on an object payload.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum Access {
+    /// Exclusive (`&mut T`): serialized against all other access.
+    Exclusive,
+    /// Shared (`&T`): concurrent with other shared access. Used for
+    /// intra-node parallel operations and immutable replicas.
+    Shared,
+}
+
+/// Payload storage: type-erased, guarded for the real engine's parallelism.
+pub(crate) struct ObjectCell {
+    pub(crate) data: RwLock<Box<dyn Any + Send + Sync>>,
+}
+
+/// A waiting invoker queued behind the object's current operations.
+pub(crate) struct OpWaiter {
+    pub(crate) thread: ThreadId,
+    pub(crate) access: Access,
+}
+
+/// Registry entry for one object.
+pub(crate) struct ObjectEntry {
+    /// The payload; shared so ops run outside the registry lock.
+    pub(crate) cell: Arc<ObjectCell>,
+    /// Authoritative current location. The *protocol path* to discover it
+    /// still follows per-node descriptors, so costs stay faithful.
+    pub(crate) location: NodeId,
+    /// Home node (owner of the address's region); creation node.
+    pub(crate) home: NodeId,
+    /// Wire size, refreshed after each exclusive operation.
+    pub(crate) size: usize,
+    /// Computes the wire size from the type-erased payload.
+    pub(crate) size_fn: fn(&(dyn Any + Send + Sync)) -> usize,
+    /// Marked immutable at runtime: moves become copies (replication).
+    pub(crate) immutable: bool,
+    /// Objects attached to this one (they move when this moves).
+    pub(crate) attached: Vec<VAddr>,
+    /// The object this one is attached to, if any.
+    pub(crate) attached_to: Option<VAddr>,
+    /// Threads currently executing operations on this object, with nesting
+    /// depth. These are the *bound threads* of section 3.4/3.5.
+    pub(crate) bound: HashMap<ThreadId, u32>,
+    /// Exclusive operation in progress (owner thread).
+    pub(crate) excl_owner: Option<ThreadId>,
+    /// Number of shared operations in progress.
+    pub(crate) shared_count: u32,
+    /// Invokers waiting for the payload.
+    pub(crate) op_waiters: VecDeque<OpWaiter>,
+    /// A move of this object is in flight; invokers park until it installs.
+    pub(crate) moving: bool,
+    /// Threads parked waiting for the in-flight move to complete.
+    pub(crate) move_waiters: Vec<ThreadId>,
+}
+
+/// Per-node kernel state.
+pub(crate) struct NodeKernel {
+    pub(crate) descriptors: Mutex<DescriptorTable>,
+    pub(crate) heap: Mutex<NodeHeap>,
+    pub(crate) regions: Mutex<RegionMap>,
+    /// Replications in flight to this node: address -> threads parked until
+    /// the replica installs (prevents duplicate transfers when several
+    /// local threads read the same remote immutable at once).
+    pub(crate) replicating: Mutex<HashMap<VAddr, Vec<ThreadId>>>,
+}
+
+/// Per-thread runtime record.
+pub(crate) struct ThreadRec {
+    /// Stack of object addresses this thread has invocation frames on;
+    /// `frames.last()` is the object whose operation is executing.
+    pub(crate) frames: Vec<VAddr>,
+    /// Extra payload bytes the next outbound migration carries (arguments
+    /// passed by value with the invocation, e.g. an edge row of grid data).
+    pub(crate) carry_bytes: usize,
+}
+
+/// The cluster-wide kernel.
+pub struct Kernel {
+    pub(crate) engine: Arc<dyn Engine>,
+    pub(crate) cost: CostModel,
+    pub(crate) objects: Mutex<HashMap<VAddr, ObjectEntry>>,
+    pub(crate) nodes: Vec<NodeKernel>,
+    pub(crate) server: Mutex<AddressSpaceServer>,
+    pub(crate) threads: Mutex<HashMap<ThreadId, ThreadRec>>,
+    pub(crate) pstats: ProtocolStats,
+}
+
+impl Kernel {
+    /// Builds kernel state over `engine`, assigning each node its startup
+    /// region (paper, section 3.1).
+    pub(crate) fn new(engine: Arc<dyn Engine>, cost: CostModel) -> Arc<Kernel> {
+        let n = engine.nodes();
+        let mut server = AddressSpaceServer::new();
+        let nodes: Vec<NodeKernel> = (0..n)
+            .map(|i| {
+                let node = NodeId::from(i);
+                let region = server.assign(node);
+                let mut heap = NodeHeap::new(node);
+                heap.add_region(region);
+                let mut regions = RegionMap::new();
+                regions.learn(region, node);
+                NodeKernel {
+                    descriptors: Mutex::new(DescriptorTable::new()),
+                    heap: Mutex::new(heap),
+                    regions: Mutex::new(regions),
+                    replicating: Mutex::new(HashMap::new()),
+                }
+            })
+            .collect();
+        Arc::new(Kernel {
+            engine,
+            cost,
+            objects: Mutex::new(HashMap::new()),
+            nodes,
+            server: Mutex::new(server),
+            threads: Mutex::new(HashMap::new()),
+            pstats: ProtocolStats::default(),
+        })
+    }
+
+    /// The node the current thread is executing on.
+    pub(crate) fn current_node(&self) -> NodeId {
+        self.engine.node_of(must_current_thread())
+    }
+
+    /// Sends a message and parks the current thread until it is delivered,
+    /// modelling the thread waiting one network leg. Returns after the
+    /// latency for `bytes` has elapsed.
+    pub(crate) fn one_way(&self, from: NodeId, to: NodeId, bytes: usize, reason: &'static str) {
+        let me = must_current_thread();
+        let engine = Arc::clone(&self.engine);
+        let delivered = Arc::new(std::sync::atomic::AtomicBool::new(false));
+        let delivered2 = Arc::clone(&delivered);
+        self.engine.send(
+            from,
+            to,
+            bytes,
+            Box::new(move || {
+                delivered2.store(true, std::sync::atomic::Ordering::Release);
+                engine.unblock_kernel(me);
+            }),
+        );
+        // Kernel-class, predicate-guarded: user wake-ups aimed at this
+        // thread are held pending rather than consumed here.
+        while !delivered.load(std::sync::atomic::Ordering::Acquire) {
+            self.engine.block_kernel(reason);
+        }
+    }
+
+    /// A full request/reply round trip of small control messages.
+    pub(crate) fn control_rtt(&self, from: NodeId, to: NodeId, reason: &'static str) {
+        let bytes = self.cost.control_packet_bytes;
+        self.one_way(from, to, bytes, reason);
+        self.one_way(to, from, bytes, reason);
+    }
+
+    /// Resolves the home node of `addr` as seen from `asking`, consulting
+    /// the address-space server (a charged round trip) on a region-map miss.
+    pub(crate) fn home_of(&self, asking: NodeId, addr: VAddr) -> NodeId {
+        let region = addr.region();
+        if let Some(owner) = self.nodes[asking.index()].regions.lock().lookup(region) {
+            return owner;
+        }
+        ProtocolStats::bump(&self.pstats.region_lookups);
+        self.engine.work(self.cost.region_lookup);
+        if asking != NodeId::BOOT {
+            self.control_rtt(asking, NodeId::BOOT, "region-lookup");
+        }
+        let owner = self
+            .server
+            .lock()
+            .owner(region)
+            .expect("address outside any assigned region");
+        self.nodes[asking.index()].regions.lock().learn(region, owner);
+        owner
+    }
+
+    /// Allocates a heap block of `size` bytes on `node`, extending the
+    /// node's pool from the address-space server if needed.
+    pub(crate) fn heap_alloc(&self, node: NodeId, size: usize) -> VAddr {
+        loop {
+            let r = self.nodes[node.index()].heap.lock().alloc(size as u64);
+            match r {
+                Ok(addr) => return addr,
+                Err(HeapError::NeedRegion) => {
+                    ProtocolStats::bump(&self.pstats.region_extensions);
+                    // Fetch a fresh region from the server (round trip off
+                    // the boot node).
+                    if node != NodeId::BOOT {
+                        self.control_rtt(node, NodeId::BOOT, "region-extend");
+                    }
+                    self.engine.work(self.cost.region_lookup);
+                    let region = self.server.lock().assign(node);
+                    let nk = &self.nodes[node.index()];
+                    nk.regions.lock().learn(region, node);
+                    nk.heap.lock().add_region(region);
+                }
+                Err(e) => panic!("heap allocation failed: {e}"),
+            }
+        }
+    }
+
+    /// Creates an object of type `T` resident on `node` and returns its
+    /// reference. `node` must be the node the current thread runs on; use
+    /// [`create_remote`](Kernel::create_remote) otherwise.
+    pub(crate) fn create_local<T: AmberObject>(&self, node: NodeId, value: T) -> ObjRef<T> {
+        debug_assert_eq!(node, self.current_node());
+        self.engine.work(self.cost.object_create);
+        let size = value.transfer_size();
+        let addr = self.heap_alloc(node, size.max(1));
+        let entry = ObjectEntry {
+            cell: Arc::new(ObjectCell {
+                data: RwLock::new(Box::new(value)),
+            }),
+            location: node,
+            home: node,
+            size,
+            size_fn: |any| match any.downcast_ref::<T>() {
+                Some(t) => t.transfer_size(),
+                None => 0,
+            },
+            immutable: false,
+            attached: Vec::new(),
+            attached_to: None,
+            bound: HashMap::new(),
+            excl_owner: None,
+            shared_count: 0,
+            op_waiters: VecDeque::new(),
+            moving: false,
+            move_waiters: Vec::new(),
+        };
+        self.nodes[node.index()].descriptors.lock().set_resident(addr);
+        let prev = self.objects.lock().insert(addr, entry);
+        debug_assert!(prev.is_none(), "heap handed out a live address");
+        ProtocolStats::bump(&self.pstats.creates);
+        ObjRef::from_addr(addr)
+    }
+
+    /// Creates an object on a *different* node: the initial value travels in
+    /// a creation request; the reply carries the new reference.
+    pub(crate) fn create_remote<T: AmberObject>(&self, node: NodeId, value: T) -> ObjRef<T> {
+        let from = self.current_node();
+        debug_assert_ne!(node, from);
+        let size = value.transfer_size();
+        self.engine.work(self.cost.object_marshal);
+        self.one_way(from, node, size + self.cost.control_packet_bytes, "create-request");
+        // We are logically at the target node's kernel now: allocate there.
+        self.engine.work(self.cost.object_create);
+        let addr = self.heap_alloc(node, size.max(1));
+        let entry = ObjectEntry {
+            cell: Arc::new(ObjectCell {
+                data: RwLock::new(Box::new(value)),
+            }),
+            location: node,
+            home: node,
+            size,
+            size_fn: |any| match any.downcast_ref::<T>() {
+                Some(t) => t.transfer_size(),
+                None => 0,
+            },
+            immutable: false,
+            attached: Vec::new(),
+            attached_to: None,
+            bound: HashMap::new(),
+            excl_owner: None,
+            shared_count: 0,
+            op_waiters: VecDeque::new(),
+            moving: false,
+            move_waiters: Vec::new(),
+        };
+        self.nodes[node.index()].descriptors.lock().set_resident(addr);
+        let prev = self.objects.lock().insert(addr, entry);
+        debug_assert!(prev.is_none(), "heap handed out a live address");
+        ProtocolStats::bump(&self.pstats.creates);
+        self.one_way(node, from, self.cost.control_packet_bytes, "create-reply");
+        ObjRef::from_addr(addr)
+    }
+
+    /// Destroys an object, returning its heap block to the home node's free
+    /// pool. The object must be idle (no operations in progress, no threads
+    /// bound, no move in flight) and must not be part of an attachment.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is unknown, busy, attached, or being moved.
+    pub(crate) fn destroy(&self, addr: VAddr) {
+        let entry = {
+            let mut objects = self.objects.lock();
+            let e = objects.get(&addr).expect("destroy of unknown object");
+            assert!(
+                e.excl_owner.is_none() && e.shared_count == 0 && e.bound.is_empty(),
+                "destroy of an object with operations in progress"
+            );
+            assert!(!e.moving, "destroy of an object while a move is in flight");
+            assert!(
+                e.attached.is_empty() && e.attached_to.is_none(),
+                "destroy of an attached object; Unattach first"
+            );
+            objects.remove(&addr).expect("entry vanished")
+        };
+        let me = self.current_node();
+        self.nodes[me.index()].descriptors.lock().clear(addr);
+        if entry.location != me {
+            self.nodes[entry.location.index()]
+                .descriptors
+                .lock()
+                .clear(addr);
+        }
+        self.nodes[entry.home.index()].descriptors.lock().clear(addr);
+        self.nodes[entry.home.index()]
+            .heap
+            .lock()
+            .free(addr)
+            .expect("destroying object whose block is not live");
+        ProtocolStats::bump(&self.pstats.destroys);
+    }
+
+    /// Charges `cost` of CPU to the current thread, after first letting the
+    /// thread chase its enclosing object if that object moved away (the
+    /// context-switch residency re-check of section 3.5).
+    pub(crate) fn work(&self, cost: SimTime) {
+        self.recheck_residency();
+        self.engine.work(cost);
+    }
+
+    /// Parks the current thread; on wake-up, re-checks residency like a
+    /// context switch back in.
+    pub(crate) fn park(&self, reason: &'static str) {
+        self.engine.block_current(reason);
+        self.recheck_residency();
+    }
+
+    /// Wakes `thread`.
+    pub(crate) fn unpark(&self, thread: ThreadId) {
+        self.engine.unblock(thread);
+    }
+}

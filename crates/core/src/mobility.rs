@@ -1,0 +1,359 @@
+//! Object mobility: MoveTo, Locate, Attach/Unattach and immutable
+//! replication (paper, sections 2.3, 3.3 and 3.4).
+//!
+//! The protocol follows the paper:
+//!
+//! * `MoveTo` flips the source descriptor to a forwarding address *before*
+//!   the contents travel, preempts the source node's processors so running
+//!   threads re-check residency, transfers the object (and everything
+//!   attached to it) in one bulk message, installs descriptors at the
+//!   destination, and acknowledges. Threads bound to the object chase it
+//!   lazily at their next residency check — the paper's own semantics.
+//! * `Locate` follows the forwarding chain with small control probes and
+//!   caches the discovered location locally.
+//! * `Attach` builds groups of objects that are guaranteed co-located and
+//!   move as one; attachment is dynamic, unlike Emerald's static version.
+//! * Marking an object immutable turns subsequent `MoveTo` calls into
+//!   replication: the destination installs a copy and the source keeps its
+//!   own; shared invocations anywhere are then served by local replicas.
+
+use amber_engine::{must_current_thread, NodeId};
+use amber_vspace::{Residency, VAddr};
+
+use crate::kernel::Kernel;
+use crate::stats::ProtocolStats;
+
+impl Kernel {
+    /// The attachment closure rooted at `addr`: the object plus everything
+    /// transitively attached to it.
+    fn attachment_group(&self, addr: VAddr) -> Vec<VAddr> {
+        let objects = self.objects.lock();
+        let mut group = vec![addr];
+        let mut i = 0;
+        while i < group.len() {
+            if let Some(e) = objects.get(&group[i]) {
+                for child in &e.attached {
+                    if !group.contains(child) {
+                        group.push(*child);
+                    }
+                }
+            }
+            i += 1;
+        }
+        group
+    }
+
+    /// Explicitly moves the object (with its attachment group) to `dest`.
+    ///
+    /// Moving an *immutable* object copies it instead (the paper's stated
+    /// `MoveTo`-on-immutable semantics). Moving to the current location is
+    /// a no-op. The call is synchronous: it returns once the destination
+    /// has installed the object and acknowledged.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is unknown, or attached to another object (move
+    /// the root of the attachment instead).
+    pub(crate) fn move_to(&self, addr: VAddr, dest: NodeId) {
+        assert!(dest.index() < self.nodes.len(), "no such {dest}");
+        let me = must_current_thread();
+        let my_node = self.engine.node_of(me);
+        // Serialize concurrent moves of the same object.
+        let (source, immutable) = loop {
+            let mut objects = self.objects.lock();
+            let e = objects
+                .get_mut(&addr)
+                .unwrap_or_else(|| panic!("MoveTo on destroyed or unknown object {addr}"));
+            assert!(
+                e.attached_to.is_none(),
+                "MoveTo on an attached object; move the attachment root"
+            );
+            if e.moving {
+                e.move_waiters.push(me);
+                drop(objects);
+                self.engine.block_kernel("moveto-serialize");
+                continue;
+            }
+            if e.immutable {
+                break (e.location, true);
+            }
+            if e.location == dest {
+                return;
+            }
+            e.moving = true;
+            break (e.location, false);
+        };
+        if immutable {
+            let _ = source;
+            self.replicate_at(addr, dest);
+            return;
+        }
+
+        ProtocolStats::bump(&self.pstats.object_moves);
+        self.engine.work(self.cost.move_initiate);
+
+        // If the mover is not on the source node, the move request first
+        // travels to the source (a control round trip).
+        if my_node != source {
+            self.control_rtt(my_node, source, "moveto-request");
+        }
+
+        let group = self.attachment_group(addr);
+        let mut bytes = 0usize;
+        {
+            // Flip descriptors to forwarding *before* the transfer
+            // (section 3.5 ordering) and gather the group size.
+            let objects = self.objects.lock();
+            let src_desc = &self.nodes[source.index()].descriptors;
+            let mut d = src_desc.lock();
+            for a in &group {
+                let e = objects.get(a).expect("attached object vanished");
+                bytes += e.size;
+                d.set_forward(*a, dest);
+            }
+        }
+        // Preempt every processor on the source node so running threads
+        // make a residency check before continuing (section 3.5).
+        let procs = self.engine.processors(source);
+        self.engine
+            .work(self.cost.preempt_per_processor * procs as u64);
+        self.engine.work(self.cost.object_marshal);
+
+        // Bulk transfer to the destination; the handler installs the group.
+        self.one_way(source, dest, bytes, "moveto-transfer");
+        // We are logically the destination kernel now: install.
+        self.engine.work(self.cost.move_install);
+        {
+            let mut objects = self.objects.lock();
+            let mut d = self.nodes[dest.index()].descriptors.lock();
+            for a in &group {
+                let e = objects.get_mut(a).expect("attached object vanished");
+                e.location = dest;
+                d.set_resident(*a);
+            }
+        }
+        // Acknowledge back to the source (completes the synchronous move).
+        self.one_way(dest, source, self.cost.control_packet_bytes, "moveto-ack");
+        // Clear the moving flag and release anyone who parked on the move.
+        let waiters = {
+            let mut objects = self.objects.lock();
+            let e = objects.get_mut(&addr).expect("moved object vanished");
+            e.moving = false;
+            std::mem::take(&mut e.move_waiters)
+        };
+        for t in waiters {
+            self.engine.unblock_kernel(t);
+        }
+        // If the mover itself is bound to the moved object, chase it now.
+        self.recheck_residency();
+    }
+
+    /// Installs a replica of immutable object `addr` on the current node if
+    /// one is not already present.
+    pub(crate) fn replicate_here(&self, addr: VAddr) {
+        let here = self.current_node();
+        self.replicate_at(addr, here);
+    }
+
+    /// Installs a replica of immutable object `addr` on `node`.
+    fn replicate_at(&self, addr: VAddr, node: NodeId) {
+        let me = must_current_thread();
+        // One transfer per (object, node): later readers park until the
+        // in-flight replica installs.
+        loop {
+            if self.nodes[node.index()].descriptors.lock().is_local(addr) {
+                return;
+            }
+            let mut inflight = self.nodes[node.index()].replicating.lock();
+            match inflight.get_mut(&addr) {
+                Some(waiters) => {
+                    waiters.push(me);
+                    drop(inflight);
+                    self.engine.block_kernel("replica-wait");
+                }
+                None => {
+                    inflight.insert(addr, Vec::new());
+                    break;
+                }
+            }
+        }
+        let (location, size) = {
+            let objects = self.objects.lock();
+            let e = objects
+                .get(&addr)
+                .unwrap_or_else(|| panic!("replication of destroyed object {addr}"));
+            debug_assert!(e.immutable, "replication of a mutable object");
+            (e.location, e.size)
+        };
+        // Request/response with the holder: a control request, then the
+        // object's bytes come back.
+        let my_node = self.current_node();
+        if my_node == node {
+            self.one_way(node, location, self.cost.control_packet_bytes, "replica-request");
+            self.one_way(location, node, size, "replica-data");
+        } else {
+            // Third-party replication (MoveTo of an immutable to elsewhere):
+            // the requester relays.
+            self.one_way(my_node, location, self.cost.control_packet_bytes, "replica-request");
+            self.one_way(location, node, size, "replica-data");
+            self.one_way(node, my_node, self.cost.control_packet_bytes, "replica-ack");
+        }
+        self.engine.work(self.cost.move_install);
+        self.nodes[node.index()].descriptors.lock().set_replica(addr);
+        ProtocolStats::bump(&self.pstats.replications);
+        let waiters = self.nodes[node.index()]
+            .replicating
+            .lock()
+            .remove(&addr)
+            .unwrap_or_default();
+        for t in waiters {
+            self.engine.unblock_kernel(t);
+        }
+    }
+
+    /// Marks the object immutable: it will never again be modified, so
+    /// subsequent moves copy it and shared invocations replicate it.
+    ///
+    /// # Panics
+    ///
+    /// Panics if an exclusive operation is in progress.
+    pub(crate) fn set_immutable(&self, addr: VAddr) {
+        let mut objects = self.objects.lock();
+        let e = objects
+            .get_mut(&addr)
+            .unwrap_or_else(|| panic!("set_immutable on destroyed object {addr}"));
+        assert!(
+            e.excl_owner.is_none(),
+            "set_immutable while an exclusive operation is in progress"
+        );
+        e.immutable = true;
+    }
+
+    /// `true` if the object has been marked immutable.
+    pub(crate) fn is_immutable(&self, addr: VAddr) -> bool {
+        self.objects
+            .lock()
+            .get(&addr)
+            .map(|e| e.immutable)
+            .unwrap_or(false)
+    }
+
+    /// Attaches `child` to `parent`: co-locates them now and makes `child`
+    /// follow every subsequent move of `parent`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either object is unknown, if `child` is already attached,
+    /// or if attaching would create a cycle.
+    pub(crate) fn attach(&self, child: VAddr, parent: VAddr) {
+        assert_ne!(child, parent, "an object cannot attach to itself");
+        {
+            let mut objects = self.objects.lock();
+            assert!(
+                objects.contains_key(&child) && objects.contains_key(&parent),
+                "attach of unknown object"
+            );
+            // Cycle check: walk up from parent.
+            let mut cur = Some(parent);
+            while let Some(a) = cur {
+                assert_ne!(a, child, "attachment cycle");
+                cur = objects.get(&a).and_then(|e| e.attached_to);
+            }
+            let c = objects.get_mut(&child).expect("child vanished");
+            assert!(
+                c.attached_to.is_none(),
+                "object is already attached; Unattach first"
+            );
+            c.attached_to = Some(parent);
+            let p = objects.get_mut(&parent).expect("parent vanished");
+            p.attached.push(child);
+        }
+        // Co-locate immediately: bring the child to the parent's node.
+        let (parent_loc, child_loc) = {
+            let objects = self.objects.lock();
+            (
+                objects.get(&parent).expect("parent vanished").location,
+                objects.get(&child).expect("child vanished").location,
+            )
+        };
+        if parent_loc != child_loc {
+            // Temporarily lift the attachment so move_to's root assertion
+            // passes, then restore it.
+            self.objects
+                .lock()
+                .get_mut(&child)
+                .expect("child vanished")
+                .attached_to = None;
+            self.move_to(child, parent_loc);
+            self.objects
+                .lock()
+                .get_mut(&child)
+                .expect("child vanished")
+                .attached_to = Some(parent);
+        }
+    }
+
+    /// Detaches `child` from whatever it is attached to.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is unknown or not attached.
+    pub(crate) fn unattach(&self, child: VAddr) {
+        let mut objects = self.objects.lock();
+        let c = objects
+            .get_mut(&child)
+            .unwrap_or_else(|| panic!("unattach of unknown object {child}"));
+        let parent = c
+            .attached_to
+            .take()
+            .expect("unattach of an object that is not attached");
+        let p = objects.get_mut(&parent).expect("attachment parent vanished");
+        p.attached.retain(|a| *a != child);
+    }
+
+    /// Locates the object by following the forwarding chain with control
+    /// probes (the thread does not move). Caches the answer locally.
+    pub(crate) fn locate(&self, addr: VAddr) -> NodeId {
+        let origin = self.current_node();
+        let mut cur = origin;
+        let mut hops = 0u32;
+        loop {
+            let desc = self.nodes[cur.index()].descriptors.lock().lookup(addr);
+            let next = match desc {
+                Some(Residency::Resident) | Some(Residency::Replica) => break,
+                Some(Residency::Forward(n)) => {
+                    ProtocolStats::bump(&self.pstats.forward_hops);
+                    self.engine.work(self.cost.forward_hop);
+                    n
+                }
+                None => {
+                    ProtocolStats::bump(&self.pstats.home_routes);
+                    self.home_of(cur, addr)
+                }
+            };
+            if next == cur {
+                // Stale self-hint (move in flight); consult ground truth.
+                let loc = self
+                    .objects
+                    .lock()
+                    .get(&addr)
+                    .map(|e| e.location)
+                    .unwrap_or_else(|| panic!("locate of destroyed object {addr}"));
+                if loc == cur {
+                    break;
+                }
+                self.nodes[cur.index()].descriptors.lock().cache_hint(addr, loc);
+                continue;
+            }
+            hops += 1;
+            assert!(hops < 10_000, "locate of {addr} did not converge");
+            self.one_way(cur, next, self.cost.control_packet_bytes, "locate-probe");
+            cur = next;
+        }
+        if cur != origin {
+            self.one_way(cur, origin, self.cost.control_packet_bytes, "locate-reply");
+            self.nodes[origin.index()].descriptors.lock().cache_hint(addr, cur);
+        }
+        cur
+    }
+}

@@ -1,0 +1,205 @@
+//! Typed references to Amber objects.
+//!
+//! An [`ObjRef<T>`] is the reproduction of an Amber object reference: a
+//! global virtual address that can be freely copied, sent between nodes and
+//! dereferenced (invoked) anywhere with the same meaning. The pointee type
+//! travels only in the type system ([`PhantomData`]); on the wire a
+//! reference is just its address, exactly as in the paper.
+
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::marker::PhantomData;
+
+use amber_vspace::VAddr;
+
+/// Types that can live in the Amber object space.
+///
+/// Objects must be sendable between nodes and shareable for concurrent
+/// shared operations (`Send + Sync + 'static`). The single
+/// provided method, [`transfer_size`](AmberObject::transfer_size), tells the
+/// runtime how many bytes a move or replication of this object puts on the
+/// wire; the default is the shallow size, so types that own heap storage
+/// (grids, tables, strings) should override it for faithful communication
+/// costs.
+///
+/// # Examples
+///
+/// ```
+/// use amber_core::AmberObject;
+///
+/// struct Section {
+///     values: Vec<f64>,
+/// }
+///
+/// impl AmberObject for Section {
+///     fn transfer_size(&self) -> usize {
+///         std::mem::size_of::<Self>() + self.values.len() * 8
+///     }
+/// }
+/// ```
+pub trait AmberObject: Send + Sync + 'static {
+    /// Bytes a move/replication of this object transfers.
+    fn transfer_size(&self) -> usize {
+        std::mem::size_of_val(self)
+    }
+}
+
+macro_rules! amber_object_for_scalars {
+    ($($t:ty),* $(,)?) => {
+        $(impl AmberObject for $t {})*
+    };
+}
+
+amber_object_for_scalars!(
+    (), bool, char, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64,
+);
+
+impl AmberObject for String {
+    fn transfer_size(&self) -> usize {
+        std::mem::size_of::<Self>() + self.len()
+    }
+}
+
+impl<T: Send + Sync + 'static> AmberObject for Vec<T> {
+    fn transfer_size(&self) -> usize {
+        std::mem::size_of::<Self>() + self.len() * std::mem::size_of::<T>()
+    }
+}
+
+impl<T: Send + Sync + 'static, const N: usize> AmberObject for [T; N] {}
+
+impl<A: Send + Sync + 'static, B: Send + Sync + 'static> AmberObject for (A, B) {}
+
+impl<A: Send + Sync + 'static, B: Send + Sync + 'static, C: Send + Sync + 'static> AmberObject
+    for (A, B, C)
+{
+}
+
+impl<
+        A: Send + Sync + 'static,
+        B: Send + Sync + 'static,
+        C: Send + Sync + 'static,
+        D: Send + Sync + 'static,
+    > AmberObject for (A, B, C, D)
+{
+}
+
+impl<T: AmberObject> AmberObject for Option<T> {
+    fn transfer_size(&self) -> usize {
+        match self {
+            Some(v) => std::mem::size_of::<Self>() + v.transfer_size(),
+            None => std::mem::size_of::<Self>(),
+        }
+    }
+}
+
+/// A location-independent reference to an object of type `T`.
+///
+/// `ObjRef` is `Copy` and address-sized: passing it around models passing
+/// object references across the network. Dereferencing happens through
+/// [`Ctx::invoke`](crate::Ctx::invoke) and friends, which run the residency
+/// protocol.
+pub struct ObjRef<T: ?Sized> {
+    addr: VAddr,
+    _pointee: PhantomData<fn() -> T>,
+}
+
+impl<T: ?Sized> ObjRef<T> {
+    /// Wraps a raw address. Crate-internal: the only way user code obtains
+    /// references is by creating objects.
+    pub(crate) fn from_addr(addr: VAddr) -> Self {
+        ObjRef {
+            addr,
+            _pointee: PhantomData,
+        }
+    }
+
+    /// The object's global virtual address.
+    pub fn addr(&self) -> VAddr {
+        self.addr
+    }
+}
+
+impl<T: ?Sized> Clone for ObjRef<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T: ?Sized> Copy for ObjRef<T> {}
+
+impl<T: ?Sized> PartialEq for ObjRef<T> {
+    fn eq(&self, other: &Self) -> bool {
+        self.addr == other.addr
+    }
+}
+
+impl<T: ?Sized> Eq for ObjRef<T> {}
+
+impl<T: ?Sized> Hash for ObjRef<T> {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.addr.hash(state);
+    }
+}
+
+impl<T: ?Sized> fmt::Debug for ObjRef<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "ObjRef<{}>({})", std::any::type_name::<T>(), self.addr)
+    }
+}
+
+// SAFETY: an `ObjRef` is only an address; the pointee is reached through the
+// kernel, which guards payloads with locks. The `fn() -> T` marker already
+// makes these auto-implied, but we state the intent here.
+const _: () = {
+    fn assert_send_sync<X: Send + Sync>() {}
+    fn check() {
+        assert_send_sync::<ObjRef<std::cell::Cell<u8>>>();
+    }
+    let _ = check;
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn objref_is_copy_eq_hash_by_address() {
+        let a: ObjRef<u32> = ObjRef::from_addr(VAddr(0x100));
+        let b = a;
+        assert_eq!(a, b);
+        assert_eq!(a.addr(), VAddr(0x100));
+        let c: ObjRef<u32> = ObjRef::from_addr(VAddr(0x200));
+        assert_ne!(a, c);
+        let mut set = std::collections::HashSet::new();
+        set.insert(a);
+        set.insert(b);
+        set.insert(c);
+        assert_eq!(set.len(), 2);
+    }
+
+    #[test]
+    fn default_transfer_size_is_shallow() {
+        #[allow(dead_code)]
+        struct Small(u64, u64);
+        impl AmberObject for Small {}
+        assert_eq!(Small(0, 0).transfer_size(), 16);
+    }
+
+    #[test]
+    fn container_transfer_sizes_count_payload() {
+        let v = vec![0f64; 100];
+        assert!(v.transfer_size() >= 800);
+        let s = String::from("hello");
+        assert!(s.transfer_size() >= 5);
+        assert!(Some(v).transfer_size() >= 800);
+    }
+
+    #[test]
+    fn debug_includes_type_and_addr() {
+        let r: ObjRef<String> = ObjRef::from_addr(VAddr(0x42));
+        let d = format!("{r:?}");
+        assert!(d.contains("String"), "{d}");
+        assert!(d.contains("0x42"), "{d}");
+    }
+}

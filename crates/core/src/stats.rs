@@ -1,0 +1,112 @@
+//! Protocol-level statistics.
+//!
+//! Where `amber_engine::NetStats` counts raw messages and bytes, these
+//! counters record *why* the runtime communicated: invocations (local vs
+//! remote), thread migrations, object moves, forwarding hops, replications,
+//! home-node routings and region extensions. Experiment harnesses report
+//! them so every result can be explained in protocol terms.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic protocol counters for a whole cluster.
+#[derive(Default)]
+pub struct ProtocolStats {
+    /// Invocations satisfied on the caller's node (including replica reads).
+    pub local_invokes: AtomicU64,
+    /// Invocations that trapped and migrated the calling thread.
+    pub remote_invokes: AtomicU64,
+    /// Thread migrations, including hops along forwarding chains and
+    /// return-time migrations back to the enclosing object.
+    pub thread_migrations: AtomicU64,
+    /// Explicit object moves (attached groups count once per object).
+    pub object_moves: AtomicU64,
+    /// Immutable-object replications installed.
+    pub replications: AtomicU64,
+    /// Forwarding-address hops followed (by threads or locate probes).
+    pub forward_hops: AtomicU64,
+    /// References routed via the object's home node because the local
+    /// descriptor was uninitialized.
+    pub home_routes: AtomicU64,
+    /// Objects created.
+    pub creates: AtomicU64,
+    /// Objects destroyed.
+    pub destroys: AtomicU64,
+    /// Threads started.
+    pub thread_starts: AtomicU64,
+    /// Join operations completed.
+    pub joins: AtomicU64,
+    /// Heap regions fetched from the address-space server after startup.
+    pub region_extensions: AtomicU64,
+    /// Region-map misses answered by the address-space server.
+    pub region_lookups: AtomicU64,
+}
+
+/// Plain-data snapshot of [`ProtocolStats`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+#[allow(missing_docs)]
+pub struct ProtocolSnapshot {
+    pub local_invokes: u64,
+    pub remote_invokes: u64,
+    pub thread_migrations: u64,
+    pub object_moves: u64,
+    pub replications: u64,
+    pub forward_hops: u64,
+    pub home_routes: u64,
+    pub creates: u64,
+    pub destroys: u64,
+    pub thread_starts: u64,
+    pub joins: u64,
+    pub region_extensions: u64,
+    pub region_lookups: u64,
+}
+
+impl ProtocolStats {
+    /// Bumps a counter by one.
+    pub(crate) fn bump(counter: &AtomicU64) {
+        counter.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Takes a snapshot of all counters.
+    pub fn snapshot(&self) -> ProtocolSnapshot {
+        ProtocolSnapshot {
+            local_invokes: self.local_invokes.load(Ordering::Relaxed),
+            remote_invokes: self.remote_invokes.load(Ordering::Relaxed),
+            thread_migrations: self.thread_migrations.load(Ordering::Relaxed),
+            object_moves: self.object_moves.load(Ordering::Relaxed),
+            replications: self.replications.load(Ordering::Relaxed),
+            forward_hops: self.forward_hops.load(Ordering::Relaxed),
+            home_routes: self.home_routes.load(Ordering::Relaxed),
+            creates: self.creates.load(Ordering::Relaxed),
+            destroys: self.destroys.load(Ordering::Relaxed),
+            thread_starts: self.thread_starts.load(Ordering::Relaxed),
+            joins: self.joins.load(Ordering::Relaxed),
+            region_extensions: self.region_extensions.load(Ordering::Relaxed),
+            region_lookups: self.region_lookups.load(Ordering::Relaxed),
+        }
+    }
+}
+
+impl ProtocolSnapshot {
+    /// Total invocations of any kind.
+    pub fn total_invokes(&self) -> u64 {
+        self.local_invokes + self.remote_invokes
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshot_reflects_bumps() {
+        let s = ProtocolStats::default();
+        ProtocolStats::bump(&s.local_invokes);
+        ProtocolStats::bump(&s.local_invokes);
+        ProtocolStats::bump(&s.remote_invokes);
+        let snap = s.snapshot();
+        assert_eq!(snap.local_invokes, 2);
+        assert_eq!(snap.remote_invokes, 1);
+        assert_eq!(snap.total_invokes(), 3);
+        assert_eq!(snap.object_moves, 0);
+    }
+}

@@ -1,0 +1,144 @@
+//! Amber threads: Start and Join (paper, section 2.1).
+//!
+//! Threads are objects. `Start` creates a *thread object* on the caller's
+//! node and begins executing an operation on a target object — which, being
+//! an ordinary invocation, ships the new thread to wherever that object
+//! lives. `Join` is an invocation on the thread object itself, so joining a
+//! thread from another node migrates the joiner, exactly as the paper
+//! describes ("invocations made on the thread object itself (e.g., a Join
+//! operation)").
+//!
+//! The result is buffered in the thread object; a join that arrives early
+//! parks on the thread object's waiter list and is woken by the terminating
+//! thread.
+
+use amber_engine::{must_current_thread, ThreadId};
+
+use crate::cluster::Ctx;
+use crate::kernel::Kernel;
+use crate::objref::{AmberObject, ObjRef};
+use crate::stats::ProtocolStats;
+
+/// The state held by a thread object: completion flag, buffered result, and
+/// joiners to wake.
+pub struct ThreadObj<R: Send + Sync + 'static> {
+    result: Option<R>,
+    finished: bool,
+    waiters: Vec<ThreadId>,
+}
+
+// SAFETY-of-design note: the payload only crosses threads through the
+// kernel's locks; `R` itself is never shared by reference, only moved out by
+// the single joiner, but the blanket `Sync` bound on object payloads still
+// requires `R: Sync` here.
+impl<R: Send + Sync + 'static> AmberObject for ThreadObj<R> {}
+
+/// A handle to a started thread; joinable exactly once.
+///
+/// The handle is `Clone`/`Copy`-free on purpose: `join` consumes it, giving
+/// the single-consumer semantics of the paper's `Join` (which returns the
+/// operation's result).
+#[derive(Debug)]
+pub struct JoinHandle<R: Send + Sync + 'static> {
+    pub(crate) obj: ObjRef<ThreadObj<R>>,
+    pub(crate) tid: ThreadId,
+}
+
+impl<R: Send + Sync + 'static> JoinHandle<R> {
+    /// The engine-level id of the started thread.
+    pub fn thread_id(&self) -> ThreadId {
+        self.tid
+    }
+
+    /// The thread object itself, for mobility operations (a thread object
+    /// can be moved or attached like any other object).
+    pub fn object(&self) -> ObjRef<ThreadObj<R>> {
+        self.obj
+    }
+
+    /// Blocks the calling thread until the started thread terminates and
+    /// returns its result.
+    ///
+    /// Joining is an invocation on the thread object: if the thread object
+    /// lives on another node, the joiner migrates there.
+    pub fn join(self, ctx: &Ctx) -> R {
+        let kernel = ctx.kernel();
+        loop {
+            let me = must_current_thread();
+            let outcome = kernel.invoke_exclusive(ctx, &self.obj, |_, t| {
+                if t.finished {
+                    Some(t.result.take().expect("thread result joined twice"))
+                } else {
+                    t.waiters.push(me);
+                    None
+                }
+            });
+            match outcome {
+                Some(r) => {
+                    ProtocolStats::bump(&kernel.pstats.joins);
+                    return r;
+                }
+                None => kernel.park("join"),
+            }
+        }
+    }
+}
+
+impl Kernel {
+    /// Starts a new thread executing `op` on `target`: the Start primitive.
+    ///
+    /// The thread object is created on the caller's current node; the new
+    /// thread begins life there and its first action — invoking `target` —
+    /// ships it to the target object's node if necessary.
+    pub(crate) fn start_thread<T, R>(
+        self: &std::sync::Arc<Self>,
+        target: &ObjRef<T>,
+        op: impl FnOnce(&Ctx, &mut T) -> R + Send + 'static,
+    ) -> JoinHandle<R>
+    where
+        T: AmberObject,
+        R: Send + Sync + 'static,
+    {
+        let here = self.current_node();
+        self.engine.work(self.cost.thread_create);
+        let thread_obj: ObjRef<ThreadObj<R>> = self.create_local(
+            here,
+            ThreadObj {
+                result: None,
+                finished: false,
+                waiters: Vec::new(),
+            },
+        );
+        self.engine.work(self.cost.sched_enqueue);
+        ProtocolStats::bump(&self.pstats.thread_starts);
+        let kernel = std::sync::Arc::clone(self);
+        let target = *target;
+        let tid = self.engine.spawn(
+            here,
+            format!("amber-{}", thread_obj.addr()),
+            Box::new(move || {
+                let tid = must_current_thread();
+                kernel.register_thread(tid);
+                let ctx = Ctx::new(std::sync::Arc::clone(&kernel));
+                let result = kernel.invoke_exclusive(&ctx, &target, op);
+                // Publish the result through the thread object and wake
+                // joiners. This is itself an invocation: a thread object
+                // that was moved pulls its terminating thread to it.
+                let waiters = kernel.invoke_exclusive(&ctx, &thread_obj, |_, t| {
+                    t.result = Some(result);
+                    t.finished = true;
+                    std::mem::take(&mut t.waiters)
+                });
+                kernel.engine.work(kernel.cost.context_switch);
+                for w in waiters {
+                    kernel.unpark(w);
+                }
+                kernel.unregister_thread(tid);
+            }),
+        );
+        JoinHandle {
+            obj: thread_obj,
+            tid,
+        }
+    }
+}

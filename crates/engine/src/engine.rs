@@ -1,0 +1,400 @@
+//! The [`Engine`] abstraction: what the Amber runtime needs from its
+//! execution substrate.
+//!
+//! `amber-core` implements the paper's protocols (residency checks,
+//! forwarding, migration, scheduling of bound threads) purely in terms of
+//! this trait, so the same runtime code runs under:
+//!
+//! * [`SimEngine`](crate::sim::SimEngine) — a deterministic discrete-event
+//!   engine with a virtual clock, used for every performance experiment, and
+//! * [`RealEngine`](crate::real::RealEngine) — real OS threads with per-node
+//!   processor tokens and real network delays, used to demonstrate the
+//!   runtime is a genuinely concurrent system.
+
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::ids::{NodeId, ThreadId};
+use crate::policy::{PolicyKind, Scheduler};
+use crate::stats::NetStats;
+use crate::time::SimTime;
+use crate::LatencyModel;
+
+/// The body of an Amber thread.
+pub type ThreadBody = Box<dyn FnOnce() + Send + 'static>;
+
+/// A kernel message handler, executed at the destination node when the
+/// message is delivered. Handlers run in kernel context: they may call
+/// [`Engine::unblock`], [`Engine::send`] and [`Engine::spawn`], but must
+/// never block or charge work.
+pub type KernelFn = Box<dyn FnOnce() + Send + 'static>;
+
+/// Configuration of one node.
+#[derive(Clone, Copy, Debug)]
+pub struct NodeConfig {
+    /// Number of processors (the Firefly had 4 CVAX CPUs for user threads).
+    pub processors: usize,
+    /// Initial scheduling policy for the node's ready queue.
+    pub policy: PolicyKind,
+}
+
+impl NodeConfig {
+    /// A node with `processors` CPUs under the default FIFO policy.
+    pub fn new(processors: usize) -> Self {
+        NodeConfig {
+            processors,
+            policy: PolicyKind::Fifo,
+        }
+    }
+}
+
+/// Configuration of a whole cluster.
+#[derive(Clone, Debug)]
+pub struct ClusterSpec {
+    /// Per-node configuration; `nodes.len()` is the cluster size.
+    pub nodes: Vec<NodeConfig>,
+    /// Network latency model applied to every message.
+    pub latency: LatencyModel,
+}
+
+impl ClusterSpec {
+    /// A homogeneous cluster: `nodes` nodes of `processors` CPUs each, like
+    /// the paper's "N nodes x P processors" configurations.
+    pub fn uniform(nodes: usize, processors: usize) -> Self {
+        assert!(nodes > 0, "a cluster needs at least one node");
+        assert!(processors > 0, "a node needs at least one processor");
+        ClusterSpec {
+            nodes: vec![NodeConfig::new(processors); nodes],
+            latency: LatencyModel::default(),
+        }
+    }
+
+    /// Replaces the latency model.
+    pub fn with_latency(mut self, latency: LatencyModel) -> Self {
+        self.latency = latency;
+        self
+    }
+
+    /// Replaces every node's scheduling policy.
+    pub fn with_policy(mut self, policy: PolicyKind) -> Self {
+        for n in &mut self.nodes {
+            n.policy = policy;
+        }
+        self
+    }
+}
+
+/// Why an engine run failed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum EngineError {
+    /// Every live thread is blocked and (in the simulator) no event is
+    /// pending: the program can never make progress.
+    Deadlock {
+        /// Virtual time at which the deadlock was detected.
+        at: SimTime,
+        /// The blocked threads with the reasons they gave when blocking.
+        blocked: Vec<(ThreadId, String)>,
+    },
+    /// An Amber thread panicked.
+    Panic {
+        /// The thread that panicked.
+        thread: ThreadId,
+        /// The panic payload, if it was a string.
+        message: String,
+    },
+    /// A real-engine run exceeded its wall-clock deadline.
+    Timeout,
+}
+
+impl std::fmt::Display for EngineError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            EngineError::Deadlock { at, blocked } => {
+                write!(f, "deadlock at {at}: {} thread(s) blocked [", blocked.len())?;
+                for (i, (t, why)) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{t} ({why})")?;
+                }
+                write!(f, "]")
+            }
+            EngineError::Panic { thread, message } => {
+                write!(f, "{thread} panicked: {message}")
+            }
+            EngineError::Timeout => write!(f, "run exceeded its wall-clock deadline"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+/// Which engine implementation is running.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum EngineKind {
+    /// Deterministic virtual-time discrete-event engine.
+    Sim,
+    /// Real OS threads and wall-clock time.
+    Real,
+}
+
+/// Execution substrate for the Amber runtime.
+///
+/// Methods that say "current thread" must be called from inside an Amber
+/// thread (a closure passed to [`spawn`](Engine::spawn) or
+/// [`run_boxed`](Engine::run_boxed)); calling them from kernel handlers or
+/// from outside the engine is a programming error and panics.
+pub trait Engine: Send + Sync {
+    /// Which implementation this is.
+    fn kind(&self) -> EngineKind;
+
+    /// Current time: virtual under [`EngineKind::Sim`], elapsed wall clock
+    /// under [`EngineKind::Real`].
+    fn now(&self) -> SimTime;
+
+    /// Number of nodes in the cluster.
+    fn nodes(&self) -> usize;
+
+    /// Number of processors on `node`.
+    fn processors(&self, node: NodeId) -> usize;
+
+    /// Creates a new Amber thread running `body` on `node`.
+    ///
+    /// The thread becomes runnable immediately; it is *not* started lazily.
+    /// `name` is used in diagnostics (deadlock reports).
+    fn spawn(&self, node: NodeId, name: String, body: ThreadBody) -> ThreadId;
+
+    /// Charges `cost` of CPU work to the current thread on its current node.
+    ///
+    /// Under the simulator this occupies one of the node's processors for
+    /// `cost` of virtual time (queueing behind other bursts under the node's
+    /// scheduling policy, and subject to timeslice preemption). Under the
+    /// real engine it is a no-op: real code has real cost.
+    fn work(&self, cost: SimTime);
+
+    /// Parks the current thread until another thread or a kernel handler
+    /// calls [`unblock`](Engine::unblock) on it.
+    ///
+    /// A wake-up that arrives before the block takes effect is not lost:
+    /// the block consumes it and returns immediately.
+    ///
+    /// User-level and kernel-level waits are separate wake classes: an
+    /// [`unblock`](Engine::unblock) aimed at a thread that is currently in
+    /// a *kernel* wait (see [`block_kernel`](Engine::block_kernel)) is held
+    /// as a pending user wake rather than waking the kernel wait — this is
+    /// what makes runtime-internal waits nested inside user-level waiting
+    /// paths lossless.
+    fn block_current(&self, reason: &'static str);
+
+    /// Makes `thread` runnable again (on whatever node it is currently
+    /// assigned to). Wakes only user-level blocks; see
+    /// [`block_current`](Engine::block_current).
+    fn unblock(&self, thread: ThreadId);
+
+    /// Parks the current thread in the *kernel* wake class: woken only by
+    /// [`unblock_kernel`](Engine::unblock_kernel). Used by runtime-internal
+    /// protocol steps (thread migration, message waits, payload admission).
+    fn block_kernel(&self, reason: &'static str);
+
+    /// Wakes a kernel-class wait (or records it as pending).
+    fn unblock_kernel(&self, thread: ThreadId);
+
+    /// Reassigns `thread` to `node`.
+    ///
+    /// This is the engine-level half of thread migration: the runtime calls
+    /// it while the thread is blocked (or on the current thread itself);
+    /// when the thread next runs it consumes processor time on `node`.
+    fn set_node(&self, thread: ThreadId, node: NodeId);
+
+    /// The node `thread` is currently assigned to.
+    fn node_of(&self, thread: ThreadId) -> NodeId;
+
+    /// Sets the scheduling priority used by priority policies.
+    fn set_priority(&self, thread: ThreadId, priority: i32);
+
+    /// Replaces `node`'s scheduler at runtime (the paper's replaceable
+    /// scheduler object). Threads already queued are drained into the new
+    /// scheduler in dequeue order.
+    fn set_scheduler(&self, node: NodeId, scheduler: Box<dyn Scheduler>);
+
+    /// Sends a message of `bytes` payload from `from` to `to`; `handler`
+    /// runs at the destination after the modelled latency.
+    fn send(&self, from: NodeId, to: NodeId, bytes: usize, handler: KernelFn);
+
+    /// Voluntarily yields the processor (a timeslice point).
+    fn yield_now(&self);
+
+    /// Suspends the current thread for `duration`.
+    fn sleep(&self, duration: SimTime);
+
+    /// Cluster-wide network and scheduling statistics.
+    fn stats(&self) -> &Arc<NetStats>;
+
+    /// Runs `body` as the program's main thread on `node` and waits until
+    /// *every* Amber thread has terminated.
+    ///
+    /// Returns an error on deadlock (simulator), panic, or timeout (real
+    /// engine with a deadline). An engine is single-shot: `run_boxed` may
+    /// only be called once.
+    fn run_boxed(&self, node: NodeId, body: ThreadBody) -> Result<(), EngineError>;
+}
+
+/// Typed convenience wrapper over [`Engine::run_boxed`].
+pub trait EngineExt: Engine {
+    /// Runs `f` as the main thread on `node`, waits for the whole program,
+    /// and returns `f`'s result.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the engine reports an error but the main closure completed;
+    /// errors are returned otherwise.
+    fn run<R, F>(&self, node: NodeId, f: F) -> Result<R, EngineError>
+    where
+        R: Send + 'static,
+        F: FnOnce() -> R + Send + 'static,
+    {
+        let slot = Arc::new(Mutex::new(None));
+        let slot2 = Arc::clone(&slot);
+        self.run_boxed(
+            node,
+            Box::new(move || {
+                let r = f();
+                *slot2.lock() = Some(r);
+            }),
+        )?;
+        let r = slot.lock().take();
+        Ok(r.expect("main thread completed without storing a result"))
+    }
+}
+
+impl<E: Engine + ?Sized> EngineExt for E {}
+
+thread_local! {
+    static CURRENT: std::cell::Cell<Option<ThreadId>> = const { std::cell::Cell::new(None) };
+}
+
+/// The Amber thread executing on this OS thread, if any.
+///
+/// Kernel handlers and host code see `None`.
+pub fn current_thread() -> Option<ThreadId> {
+    CURRENT.with(|c| c.get())
+}
+
+/// The Amber thread executing on this OS thread.
+///
+/// # Panics
+///
+/// Panics when called outside an Amber thread (e.g. from a kernel handler).
+pub fn must_current_thread() -> ThreadId {
+    current_thread().expect("this operation must be called from an Amber thread")
+}
+
+/// Sets the current-thread marker for the duration of a thread body.
+/// Engines call this; user code never should.
+pub(crate) struct CurrentGuard;
+
+impl CurrentGuard {
+    pub(crate) fn enter(tid: ThreadId) -> CurrentGuard {
+        CURRENT.with(|c| c.set(Some(tid)));
+        CurrentGuard
+    }
+}
+
+impl Drop for CurrentGuard {
+    fn drop(&mut self) {
+        CURRENT.with(|c| c.set(None));
+    }
+}
+
+/// A binary-semaphore-style gate a parked thread waits on.
+///
+/// Permits posted before the wait are consumed by it, so wake-ups never
+/// race with blocks.
+pub(crate) struct Gate {
+    state: Mutex<u32>,
+    cv: Condvar,
+}
+
+impl Gate {
+    pub(crate) fn new() -> Arc<Gate> {
+        Arc::new(Gate {
+            state: Mutex::new(0),
+            cv: Condvar::new(),
+        })
+    }
+
+    /// Blocks until a permit is available, consuming it.
+    pub(crate) fn wait(&self) {
+        let mut permits = self.state.lock();
+        while *permits == 0 {
+            self.cv.wait(&mut permits);
+        }
+        *permits -= 1;
+    }
+
+    /// Posts one permit, waking a waiter if present.
+    pub(crate) fn post(&self) {
+        let mut permits = self.state.lock();
+        *permits += 1;
+        self.cv.notify_one();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn cluster_spec_uniform() {
+        let s = ClusterSpec::uniform(8, 4);
+        assert_eq!(s.nodes.len(), 8);
+        assert!(s.nodes.iter().all(|n| n.processors == 4));
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one node")]
+    fn cluster_spec_rejects_empty() {
+        let _ = ClusterSpec::uniform(0, 4);
+    }
+
+    #[test]
+    fn gate_permit_before_wait_is_not_lost() {
+        let g = Gate::new();
+        g.post();
+        // Must return immediately rather than deadlocking the test.
+        g.wait();
+    }
+
+    #[test]
+    fn gate_wakes_waiter() {
+        let g = Gate::new();
+        let g2 = Arc::clone(&g);
+        let h = std::thread::spawn(move || g2.wait());
+        std::thread::sleep(std::time::Duration::from_millis(10));
+        g.post();
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn current_thread_is_scoped() {
+        assert_eq!(current_thread(), None);
+        {
+            let _g = CurrentGuard::enter(ThreadId(7));
+            assert_eq!(current_thread(), Some(ThreadId(7)));
+        }
+        assert_eq!(current_thread(), None);
+    }
+
+    #[test]
+    fn engine_error_display() {
+        let e = EngineError::Deadlock {
+            at: SimTime::from_ms(5),
+            blocked: vec![(ThreadId(1), "join".to_string())],
+        };
+        let s = e.to_string();
+        assert!(s.contains("deadlock"), "{s}");
+        assert!(s.contains("thread1"), "{s}");
+        assert!(s.contains("join"), "{s}");
+    }
+}

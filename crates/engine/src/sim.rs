@@ -1,0 +1,860 @@
+//! The deterministic discrete-event engine.
+//!
+//! [`SimEngine`] runs an Amber program under a *virtual clock*. User code
+//! executes natively (real Rust closures on real OS threads), but exactly one
+//! Amber thread runs at a time: a dispatcher hands a "baton" to one thread,
+//! which executes until its next engine primitive (work, block, send, sleep,
+//! yield), then hands the baton back. Virtual time advances only when the
+//! dispatcher processes events, so:
+//!
+//! * computation costs come from explicit [`work`](crate::Engine::work)
+//!   charges (occupying one of the node's P virtual processors, queueing
+//!   under the node's scheduling policy, preempted by its quantum);
+//! * communication costs come from the [`LatencyModel`] applied to every
+//!   [`send`](crate::Engine::send);
+//! * the whole run is deterministic: same program, same spec, same trace.
+//!
+//! Determinism is what lets this reproduce the paper's figures on a 1-CPU
+//! host: a "32-processor" run is simulated event by event, with speedup read
+//! off the virtual clock.
+//!
+//! The engine also detects deadlock: if every live thread is blocked and no
+//! event is pending, the run fails with [`EngineError::Deadlock`] naming the
+//! blocked threads and their reasons.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+use std::panic::{catch_unwind, AssertUnwindSafe};
+use std::sync::Arc;
+
+use parking_lot::{Condvar, Mutex};
+
+use crate::engine::{
+    must_current_thread, ClusterSpec, CurrentGuard, Engine, EngineError, EngineKind, Gate,
+    KernelFn, ThreadBody,
+};
+use crate::ids::{NodeId, ThreadId};
+use crate::policy::Scheduler;
+use crate::stats::NetStats;
+use crate::time::SimTime;
+use crate::LatencyModel;
+
+/// Wake class of a blocked thread (see `Engine::block_kernel`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum WakeClass {
+    User,
+    Kernel,
+}
+
+/// What a simulated thread is doing right now.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum RunState {
+    /// In the runnable queue, will execute user code at the current instant.
+    Ready,
+    /// Executing user code (holds the baton).
+    Active,
+    /// Occupying a processor for a charged CPU burst.
+    Working,
+    /// Waiting in the node scheduler for a free processor.
+    QueuedCpu,
+    /// Parked until `unblock`.
+    Blocked,
+    /// Parked until a timer event.
+    Sleeping,
+    /// Terminated.
+    Dead,
+}
+
+struct Tcb {
+    node: NodeId,
+    gate: Arc<Gate>,
+    state: RunState,
+    /// Remaining CPU burst when `Working` or `QueuedCpu`.
+    remaining: SimTime,
+    priority: i32,
+    /// User wake-ups that arrived while the thread was not user-blocked;
+    /// each is consumed by one subsequent user `block_current`. Counters,
+    /// not flags: two wake-ups must satisfy two waits.
+    pending_user: u32,
+    /// Kernel wake-ups that arrived while the thread was not kernel-blocked.
+    pending_kernel: u32,
+    /// Which class the current `Blocked` state belongs to.
+    blocked_class: WakeClass,
+    name: String,
+    block_reason: &'static str,
+}
+
+struct NodeSim {
+    processors: usize,
+    /// Processors currently occupied by charged bursts.
+    busy: usize,
+    sched: Box<dyn Scheduler>,
+}
+
+enum Event {
+    /// A charged burst completed; the thread resumes user code.
+    WorkDone(ThreadId),
+    /// A charged burst hit the timeslice quantum; re-enqueue the remainder.
+    Quantum(ThreadId),
+    /// A sleep timer fired.
+    Wake(ThreadId),
+    /// A network message reached its destination; run the kernel handler.
+    Deliver { handler: KernelFn },
+}
+
+struct SimState {
+    clock: SimTime,
+    seq: u64,
+    events: BTreeMap<(SimTime, u64), Event>,
+    /// Threads ready to execute user code at the current instant (FIFO).
+    runnable: VecDeque<ThreadId>,
+    threads: HashMap<ThreadId, Tcb>,
+    nodes: Vec<NodeSim>,
+    /// The thread currently holding the baton.
+    active: Option<ThreadId>,
+    /// Threads spawned and not yet dead.
+    live: usize,
+    next_tid: u64,
+    started: bool,
+    finished: bool,
+    error: Option<EngineError>,
+}
+
+struct SimInner {
+    state: Mutex<SimState>,
+    /// Signalled whenever the dispatcher may have something to do.
+    dispatch_cv: Condvar,
+    /// Signalled when the run completes (success or failure).
+    done_cv: Condvar,
+    stats: Arc<NetStats>,
+    latency: LatencyModel,
+}
+
+/// Deterministic virtual-time engine. See the module docs.
+pub struct SimEngine {
+    inner: Arc<SimInner>,
+}
+
+impl SimEngine {
+    /// Builds a simulated cluster from `spec`.
+    pub fn new(spec: ClusterSpec) -> Self {
+        let nodes = spec
+            .nodes
+            .iter()
+            .map(|n| NodeSim {
+                processors: n.processors,
+                busy: 0,
+                sched: n.policy.build(),
+            })
+            .collect::<Vec<_>>();
+        let stats = Arc::new(NetStats::new(nodes.len()));
+        SimEngine {
+            inner: Arc::new(SimInner {
+                state: Mutex::new(SimState {
+                    clock: SimTime::ZERO,
+                    seq: 0,
+                    events: BTreeMap::new(),
+                    runnable: VecDeque::new(),
+                    threads: HashMap::new(),
+                    nodes,
+                    active: None,
+                    live: 0,
+                    next_tid: 0,
+                    started: false,
+                    finished: false,
+                    error: None,
+                }),
+                dispatch_cv: Condvar::new(),
+                done_cv: Condvar::new(),
+                stats,
+                latency: spec.latency,
+            }),
+        }
+    }
+
+    /// Convenience: a uniform cluster with the given latency model.
+    pub fn cluster(nodes: usize, processors: usize, latency: LatencyModel) -> Arc<Self> {
+        Arc::new(SimEngine::new(
+            ClusterSpec::uniform(nodes, processors).with_latency(latency),
+        ))
+    }
+}
+
+impl SimState {
+    fn tcb(&self, tid: ThreadId) -> &Tcb {
+        self.threads.get(&tid).expect("unknown thread id")
+    }
+
+    fn tcb_mut(&mut self, tid: ThreadId) -> &mut Tcb {
+        self.threads.get_mut(&tid).expect("unknown thread id")
+    }
+
+    fn push_event(&mut self, at: SimTime, ev: Event) {
+        let key = (at, self.seq);
+        self.seq += 1;
+        self.events.insert(key, ev);
+    }
+
+    /// Starts (or resumes) a charged burst for `tid` on its node, splitting
+    /// it at the scheduler's quantum. The caller has already accounted the
+    /// processor (`busy`).
+    fn start_burst(&mut self, tid: ThreadId, stats: &NetStats) {
+        let (node_ix, remaining) = {
+            let tcb = self.tcb(tid);
+            (tcb.node.index(), tcb.remaining)
+        };
+        debug_assert!(!remaining.is_zero(), "zero-length burst");
+        let quantum = self.nodes[node_ix].sched.quantum();
+        let clock = self.clock;
+        stats.record_dispatch(node_ix);
+        match quantum {
+            Some(q) if remaining > q => {
+                self.tcb_mut(tid).remaining = remaining - q;
+                self.tcb_mut(tid).state = RunState::Working;
+                self.push_event(clock + q, Event::Quantum(tid));
+            }
+            _ => {
+                self.tcb_mut(tid).remaining = SimTime::ZERO;
+                self.tcb_mut(tid).state = RunState::Working;
+                self.push_event(clock + remaining, Event::WorkDone(tid));
+            }
+        }
+    }
+
+    /// After a processor on `node_ix` frees up, admit the next queued burst.
+    fn pull_next(&mut self, node_ix: usize, stats: &NetStats) {
+        debug_assert!(self.nodes[node_ix].busy < self.nodes[node_ix].processors);
+        if let Some(next) = self.nodes[node_ix].sched.dequeue() {
+            self.nodes[node_ix].busy += 1;
+            self.start_burst(next, stats);
+        }
+    }
+
+    fn blocked_report(&self) -> Vec<(ThreadId, String)> {
+        let mut blocked: Vec<_> = self
+            .threads
+            .iter()
+            .filter(|(_, t)| t.state == RunState::Blocked)
+            .map(|(id, t)| (*id, format!("{} ({})", t.block_reason, t.name)))
+            .collect();
+        blocked.sort_by_key(|(id, _)| *id);
+        blocked
+    }
+}
+
+impl SimInner {
+    /// Parks the calling user thread: releases the baton and waits for the
+    /// dispatcher's grant.
+    fn park_current(&self, st: &mut parking_lot::MutexGuard<'_, SimState>, gate: &Arc<Gate>) {
+        st.active = None;
+        self.dispatch_cv.notify_one();
+        // Release the state lock before parking; the dispatcher takes over.
+        parking_lot::MutexGuard::unlocked(st, || gate.wait());
+        // On return the dispatcher has made us Active again; `st` is
+        // re-locked but we immediately return to user code, so callers must
+        // drop it promptly.
+    }
+
+    fn finish(&self, st: &mut SimState, error: Option<EngineError>) {
+        if st.error.is_none() {
+            st.error = error;
+        }
+        st.finished = true;
+        self.done_cv.notify_all();
+    }
+
+    fn dispatcher_loop(self: &Arc<Self>) {
+        loop {
+            let mut st = self.state.lock();
+            while st.active.is_some() {
+                self.dispatch_cv.wait(&mut st);
+            }
+            if st.finished {
+                return;
+            }
+            if st.error.is_some() {
+                self.finish(&mut st, None);
+                return;
+            }
+            if st.live == 0 {
+                self.finish(&mut st, None);
+                return;
+            }
+            // 1. Grant the baton to a thread that is ready *now*.
+            if let Some(tid) = st.runnable.pop_front() {
+                let tcb = st.tcb_mut(tid);
+                debug_assert_eq!(tcb.state, RunState::Ready);
+                tcb.state = RunState::Active;
+                let gate = Arc::clone(&tcb.gate);
+                st.active = Some(tid);
+                drop(st);
+                gate.post();
+                continue;
+            }
+            // 2. Otherwise advance the virtual clock to the next event.
+            if let Some(((at, _), ev)) = st.events.pop_first() {
+                debug_assert!(at >= st.clock, "time went backwards");
+                st.clock = at;
+                match ev {
+                    Event::WorkDone(tid) => {
+                        let node_ix = st.tcb(tid).node.index();
+                        st.nodes[node_ix].busy -= 1;
+                        st.tcb_mut(tid).state = RunState::Ready;
+                        st.runnable.push_back(tid);
+                        st.pull_next(node_ix, &self.stats);
+                    }
+                    Event::Quantum(tid) => {
+                        let node_ix = st.tcb(tid).node.index();
+                        st.nodes[node_ix].busy -= 1;
+                        self.stats.record_preemption(node_ix);
+                        let prio = st.tcb(tid).priority;
+                        st.tcb_mut(tid).state = RunState::QueuedCpu;
+                        st.nodes[node_ix].sched.enqueue(tid, prio);
+                        st.pull_next(node_ix, &self.stats);
+                    }
+                    Event::Wake(tid) => {
+                        if st.tcb(tid).state == RunState::Sleeping {
+                            st.tcb_mut(tid).state = RunState::Ready;
+                            st.runnable.push_back(tid);
+                        }
+                    }
+                    Event::Deliver { handler } => {
+                        // Kernel handlers run in dispatcher context without
+                        // the state lock (they call back into the engine).
+                        drop(st);
+                        handler();
+                    }
+                }
+                continue;
+            }
+            // 3. No runnable thread, no event, live threads remain: deadlock.
+            let blocked = st.blocked_report();
+            let at = st.clock;
+            self.finish(&mut st, Some(EngineError::Deadlock { at, blocked }));
+            return;
+        }
+    }
+}
+
+impl SimEngine {
+    fn block_class(&self, reason: &'static str, class: WakeClass) {
+        let tid = must_current_thread();
+        let mut st = self.inner.state.lock();
+        debug_assert_eq!(st.active, Some(tid), "block from a non-active thread");
+        let pending = match class {
+            WakeClass::User => &mut st.tcb_mut(tid).pending_user,
+            WakeClass::Kernel => &mut st.tcb_mut(tid).pending_kernel,
+        };
+        if *pending > 0 {
+            *pending -= 1;
+            return;
+        }
+        {
+            let tcb = st.tcb_mut(tid);
+            tcb.state = RunState::Blocked;
+            tcb.blocked_class = class;
+            tcb.block_reason = reason;
+        }
+        let gate = Arc::clone(&st.tcb(tid).gate);
+        self.inner.park_current(&mut st, &gate);
+    }
+
+    fn unblock_class(&self, thread: ThreadId, class: WakeClass) {
+        let mut st = self.inner.state.lock();
+        let tcb_state = st.tcb(thread).state;
+        let blocked_class = st.tcb(thread).blocked_class;
+        match (tcb_state, blocked_class == class) {
+            (RunState::Dead, _) => {}
+            (RunState::Blocked, true) => {
+                st.tcb_mut(thread).state = RunState::Ready;
+                st.runnable.push_back(thread);
+                self.inner.dispatch_cv.notify_one();
+            }
+            _ => match class {
+                WakeClass::User => st.tcb_mut(thread).pending_user += 1,
+                WakeClass::Kernel => st.tcb_mut(thread).pending_kernel += 1,
+            },
+        }
+    }
+}
+
+impl Engine for SimEngine {
+    fn kind(&self) -> EngineKind {
+        EngineKind::Sim
+    }
+
+    fn now(&self) -> SimTime {
+        self.inner.state.lock().clock
+    }
+
+    fn nodes(&self) -> usize {
+        self.inner.stats.node_count()
+    }
+
+    fn processors(&self, node: NodeId) -> usize {
+        self.inner.state.lock().nodes[node.index()].processors
+    }
+
+    fn spawn(&self, node: NodeId, name: String, body: ThreadBody) -> ThreadId {
+        let inner = Arc::clone(&self.inner);
+        let gate = Gate::new();
+        let tid;
+        {
+            let mut st = self.inner.state.lock();
+            assert!(
+                node.index() < st.nodes.len(),
+                "spawn on nonexistent {node}"
+            );
+            tid = ThreadId(st.next_tid);
+            st.next_tid += 1;
+            st.live += 1;
+            st.threads.insert(
+                tid,
+                Tcb {
+                    node,
+                    gate: Arc::clone(&gate),
+                    state: RunState::Ready,
+                    remaining: SimTime::ZERO,
+                    priority: 0,
+                    pending_user: 0,
+                    pending_kernel: 0,
+                    blocked_class: WakeClass::User,
+                    name: name.clone(),
+                    block_reason: "",
+                },
+            );
+            st.runnable.push_back(tid);
+            self.inner.dispatch_cv.notify_one();
+        }
+        std::thread::Builder::new()
+            .name(name)
+            .stack_size(256 * 1024)
+            .spawn(move || {
+                let _guard = CurrentGuard::enter(tid);
+                gate.wait();
+                let result = catch_unwind(AssertUnwindSafe(body));
+                let mut st = inner.state.lock();
+                if let Err(payload) = result {
+                    let message = panic_message(&payload);
+                    if st.error.is_none() {
+                        st.error = Some(EngineError::Panic {
+                            thread: tid,
+                            message,
+                        });
+                    }
+                }
+                st.tcb_mut(tid).state = RunState::Dead;
+                st.live -= 1;
+                st.active = None;
+                inner.dispatch_cv.notify_one();
+            })
+            .expect("failed to spawn OS thread for Amber thread");
+        tid
+    }
+
+    fn work(&self, cost: SimTime) {
+        if cost.is_zero() {
+            return;
+        }
+        let tid = must_current_thread();
+        let mut st = self.inner.state.lock();
+        debug_assert_eq!(st.active, Some(tid), "work() from a non-active thread");
+        let node_ix = st.tcb(tid).node.index();
+        st.tcb_mut(tid).remaining = cost;
+        if st.nodes[node_ix].busy < st.nodes[node_ix].processors {
+            st.nodes[node_ix].busy += 1;
+            st.start_burst(tid, &self.inner.stats);
+        } else {
+            let prio = st.tcb(tid).priority;
+            st.tcb_mut(tid).state = RunState::QueuedCpu;
+            st.nodes[node_ix].sched.enqueue(tid, prio);
+        }
+        let gate = Arc::clone(&st.tcb(tid).gate);
+        self.inner.park_current(&mut st, &gate);
+    }
+
+    fn block_current(&self, reason: &'static str) {
+        self.block_class(reason, WakeClass::User);
+    }
+
+    fn unblock(&self, thread: ThreadId) {
+        self.unblock_class(thread, WakeClass::User);
+    }
+
+    fn block_kernel(&self, reason: &'static str) {
+        self.block_class(reason, WakeClass::Kernel);
+    }
+
+    fn unblock_kernel(&self, thread: ThreadId) {
+        self.unblock_class(thread, WakeClass::Kernel);
+    }
+
+    fn set_node(&self, thread: ThreadId, node: NodeId) {
+        let mut st = self.inner.state.lock();
+        assert!(node.index() < st.nodes.len(), "no such {node}");
+        let state = st.tcb(thread).state;
+        debug_assert!(
+            !matches!(state, RunState::Working | RunState::QueuedCpu),
+            "cannot migrate a thread in the middle of a CPU burst"
+        );
+        st.tcb_mut(thread).node = node;
+    }
+
+    fn node_of(&self, thread: ThreadId) -> NodeId {
+        self.inner.state.lock().tcb(thread).node
+    }
+
+    fn set_priority(&self, thread: ThreadId, priority: i32) {
+        self.inner.state.lock().tcb_mut(thread).priority = priority;
+    }
+
+    fn set_scheduler(&self, node: NodeId, mut scheduler: Box<dyn Scheduler>) {
+        let mut st = self.inner.state.lock();
+        let node_ix = node.index();
+        while let Some(t) = st.nodes[node_ix].sched.dequeue() {
+            let prio = st.tcb(t).priority;
+            scheduler.enqueue(t, prio);
+        }
+        st.nodes[node_ix].sched = scheduler;
+    }
+
+    fn send(&self, from: NodeId, to: NodeId, bytes: usize, handler: KernelFn) {
+        let mut st = self.inner.state.lock();
+        self.inner
+            .stats
+            .record_send(from.index(), to.index(), bytes);
+        let delay = self.inner.latency.latency(bytes);
+        let at = st.clock + delay;
+        st.push_event(at, Event::Deliver { handler });
+        self.inner.dispatch_cv.notify_one();
+    }
+
+    fn yield_now(&self) {
+        let tid = must_current_thread();
+        let mut st = self.inner.state.lock();
+        st.tcb_mut(tid).state = RunState::Ready;
+        st.runnable.push_back(tid);
+        let gate = Arc::clone(&st.tcb(tid).gate);
+        self.inner.park_current(&mut st, &gate);
+    }
+
+    fn sleep(&self, duration: SimTime) {
+        if duration.is_zero() {
+            return self.yield_now();
+        }
+        let tid = must_current_thread();
+        let mut st = self.inner.state.lock();
+        st.tcb_mut(tid).state = RunState::Sleeping;
+        let at = st.clock + duration;
+        st.push_event(at, Event::Wake(tid));
+        let gate = Arc::clone(&st.tcb(tid).gate);
+        self.inner.park_current(&mut st, &gate);
+    }
+
+    fn stats(&self) -> &Arc<NetStats> {
+        &self.inner.stats
+    }
+
+    fn run_boxed(&self, node: NodeId, body: ThreadBody) -> Result<(), EngineError> {
+        {
+            let mut st = self.inner.state.lock();
+            assert!(!st.started, "SimEngine::run_boxed may only be called once");
+            st.started = true;
+        }
+        // Spawn the main thread before the dispatcher so the dispatcher can
+        // never observe `live == 0` before the program begins.
+        self.spawn(node, "main".to_string(), body);
+        let inner = Arc::clone(&self.inner);
+        let dispatcher = std::thread::Builder::new()
+            .name("amber-dispatcher".to_string())
+            .spawn(move || inner.dispatcher_loop())
+            .expect("failed to spawn dispatcher");
+        let result = {
+            let mut st = self.inner.state.lock();
+            while !st.finished {
+                self.inner.done_cv.wait(&mut st);
+            }
+            match st.error.clone() {
+                Some(e) => Err(e),
+                None => Ok(()),
+            }
+        };
+        let _ = dispatcher.join();
+        result
+    }
+}
+
+fn panic_message(payload: &Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_string()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_string()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::EngineExt;
+    use crate::policy::PolicyKind;
+
+    fn sim(nodes: usize, procs: usize) -> Arc<SimEngine> {
+        SimEngine::cluster(nodes, procs, LatencyModel::fixed(SimTime::from_ms(1)))
+    }
+
+    #[test]
+    fn run_returns_main_result() {
+        let e = sim(1, 1);
+        let out = e.run(NodeId(0), || 6 * 7).unwrap();
+        assert_eq!(out, 42);
+    }
+
+    #[test]
+    fn work_advances_virtual_clock() {
+        let e = sim(1, 1);
+        let e2 = Arc::clone(&e);
+        let elapsed = e
+            .run(NodeId(0), move || {
+                let t0 = e2.now();
+                e2.work(SimTime::from_ms(5));
+                e2.work(SimTime::from_ms(7));
+                e2.now() - t0
+            })
+            .unwrap();
+        assert_eq!(elapsed, SimTime::from_ms(12));
+    }
+
+    #[test]
+    fn parallel_work_on_two_processors_overlaps() {
+        let e = sim(1, 2);
+        let e2 = Arc::clone(&e);
+        let elapsed = e
+            .run(NodeId(0), move || {
+                let e3 = Arc::clone(&e2);
+                let t0 = e2.now();
+                let helper = e2.spawn(
+                    NodeId(0),
+                    "helper".into(),
+                    Box::new(move || e3.work(SimTime::from_ms(10))),
+                );
+                e2.work(SimTime::from_ms(10));
+                // Wait for the helper by polling is not possible; just work
+                // again and measure: both 10 ms bursts overlapped.
+                let _ = helper;
+                e2.now() - t0
+            })
+            .unwrap();
+        assert_eq!(elapsed, SimTime::from_ms(10));
+    }
+
+    #[test]
+    fn serialized_work_on_one_processor_queues() {
+        let e = sim(1, 1);
+        let e2 = Arc::clone(&e);
+        let total = Arc::new(Mutex::new(SimTime::ZERO));
+        let total2 = Arc::clone(&total);
+        e.run(NodeId(0), move || {
+            let e3 = Arc::clone(&e2);
+            let t0 = e2.now();
+            e2.spawn(
+                NodeId(0),
+                "helper".into(),
+                Box::new(move || e3.work(SimTime::from_ms(10))),
+            );
+            e2.work(SimTime::from_ms(10));
+            // The helper queued behind us (or vice versa): total time for
+            // both bursts on one processor is 20 ms. Sleep until it is done.
+            e2.sleep(SimTime::from_ms(100));
+            *total2.lock() = e2.now() - t0;
+        })
+        .unwrap();
+        // Our own burst finished at 10 or 20 ms; can't see the helper's end
+        // directly, but the clock after sleep proves no time was lost.
+        assert!(total.lock().as_ms() >= 100);
+        assert_eq!(e.stats().total_dispatches(), 2);
+    }
+
+    #[test]
+    fn message_latency_is_modelled() {
+        let e = SimEngine::cluster(2, 1, LatencyModel::fixed(SimTime::from_ms(3)));
+        let e2 = Arc::clone(&e);
+        let elapsed = e
+            .run(NodeId(0), move || {
+                let t0 = e2.now();
+                let me = must_current_thread();
+                let e3 = Arc::clone(&e2);
+                e2.send(
+                    NodeId(0),
+                    NodeId(1),
+                    128,
+                    Box::new(move || e3.unblock(me)),
+                );
+                e2.block_current("await-echo");
+                e2.now() - t0
+            })
+            .unwrap();
+        assert_eq!(elapsed, SimTime::from_ms(3));
+        assert_eq!(e.stats().total_msgs(), 1);
+        assert_eq!(e.stats().total_bytes(), 128);
+    }
+
+    #[test]
+    fn deadlock_is_detected_and_reported() {
+        let e = sim(1, 1);
+        let e2 = Arc::clone(&e);
+        let err = e
+            .run(NodeId(0), move || e2.block_current("never-woken"))
+            .unwrap_err();
+        match err {
+            EngineError::Deadlock { blocked, .. } => {
+                assert_eq!(blocked.len(), 1);
+                assert!(blocked[0].1.contains("never-woken"));
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+    }
+
+    #[test]
+    fn panic_in_thread_is_reported() {
+        let e = sim(1, 1);
+        let err = e
+            .run(NodeId(0), || panic!("boom"))
+            .map(|()| ())
+            .unwrap_err();
+        match err {
+            EngineError::Panic { message, .. } => assert!(message.contains("boom")),
+            other => panic!("expected panic error, got {other}"),
+        }
+    }
+
+    #[test]
+    fn unblock_before_block_is_not_lost() {
+        let e = sim(1, 2);
+        let e2 = Arc::clone(&e);
+        e.run(NodeId(0), move || {
+            let me = must_current_thread();
+            // Wake ourselves first (pending), then block: must not hang.
+            e2.unblock(me);
+            e2.block_current("self-wake");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn sleep_advances_clock_exactly() {
+        let e = sim(1, 1);
+        let e2 = Arc::clone(&e);
+        let t = e
+            .run(NodeId(0), move || {
+                e2.sleep(SimTime::from_ms(250));
+                e2.now()
+            })
+            .unwrap();
+        assert_eq!(t, SimTime::from_ms(250));
+    }
+
+    #[test]
+    fn migration_changes_charge_node() {
+        let e = sim(2, 1);
+        let e2 = Arc::clone(&e);
+        e.run(NodeId(0), move || {
+            let me = must_current_thread();
+            assert_eq!(e2.node_of(me), NodeId(0));
+            e2.set_node(me, NodeId(1));
+            assert_eq!(e2.node_of(me), NodeId(1));
+            e2.work(SimTime::from_ms(1));
+        })
+        .unwrap();
+        // The burst was dispatched on node 1.
+        assert_eq!(e.stats().node(1).dispatches, 1);
+        assert_eq!(e.stats().node(0).dispatches, 0);
+    }
+
+    #[test]
+    fn round_robin_quantum_preempts() {
+        let spec = ClusterSpec::uniform(1, 1)
+            .with_latency(LatencyModel::zero())
+            .with_policy(PolicyKind::RoundRobin(SimTime::from_ms(1)));
+        let e = Arc::new(SimEngine::new(spec));
+        let e2 = Arc::clone(&e);
+        e.run(NodeId(0), move || {
+            let e3 = Arc::clone(&e2);
+            e2.spawn(
+                NodeId(0),
+                "b".into(),
+                Box::new(move || e3.work(SimTime::from_ms(5))),
+            );
+            e2.work(SimTime::from_ms(5));
+        })
+        .unwrap();
+        // Two 5 ms bursts with a 1 ms quantum: at least 8 preemptions.
+        assert!(e.stats().node(0).preemptions >= 8);
+    }
+
+    #[test]
+    fn deterministic_event_ordering() {
+        // Run the same mildly concurrent program twice and require identical
+        // message/dispatch traces and identical final clocks.
+        fn run_once() -> (SimTime, u64, u64) {
+            let e = sim(4, 2);
+            let e2 = Arc::clone(&e);
+            let t = e
+                .run(NodeId(0), move || {
+                    for i in 0..4u64 {
+                        let e3 = Arc::clone(&e2);
+                        e2.spawn(
+                            NodeId((i % 4) as u16),
+                            format!("w{i}"),
+                            Box::new(move || {
+                                e3.work(SimTime::from_us(100 * (i + 1)));
+                                let e4 = Arc::clone(&e3);
+                                let dst = NodeId(((i + 1) % 4) as u16);
+                                e3.send(NodeId((i % 4) as u16), dst, 64, Box::new(move || {
+                                    let _ = e4.now();
+                                }));
+                            }),
+                        );
+                    }
+                    e2.sleep(SimTime::from_ms(50));
+                    e2.now()
+                })
+                .unwrap();
+            (t, e.stats().total_msgs(), e.stats().total_dispatches())
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn kernel_handler_can_spawn() {
+        let e = sim(2, 1);
+        let e2 = Arc::clone(&e);
+        let hit = Arc::new(Mutex::new(false));
+        let hit2 = Arc::clone(&hit);
+        e.run(NodeId(0), move || {
+            let me = must_current_thread();
+            let e3 = Arc::clone(&e2);
+            let hit3 = Arc::clone(&hit2);
+            e2.send(
+                NodeId(0),
+                NodeId(1),
+                0,
+                Box::new(move || {
+                    let e4 = Arc::clone(&e3);
+                    let hit4 = Arc::clone(&hit3);
+                    e3.spawn(
+                        NodeId(1),
+                        "spawned-by-handler".into(),
+                        Box::new(move || {
+                            *hit4.lock() = true;
+                            e4.unblock(me);
+                        }),
+                    );
+                }),
+            );
+            e2.block_current("await-remote-spawn");
+        })
+        .unwrap();
+        assert!(*hit.lock());
+    }
+}

@@ -1,0 +1,147 @@
+//! Cluster-wide network and scheduling counters.
+//!
+//! The paper argues that "the performance of a distributed system is best
+//! evaluated ... by the degree to which the system prevents unnecessary
+//! network communication" (section 5). These counters make that degree
+//! observable: every experiment harness reports messages and bytes alongside
+//! elapsed time.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Monotonic counters for one node.
+#[derive(Default)]
+pub struct NodeCounters {
+    /// Messages sent from this node.
+    pub msgs_out: AtomicU64,
+    /// Messages delivered to this node.
+    pub msgs_in: AtomicU64,
+    /// Payload bytes sent from this node.
+    pub bytes_out: AtomicU64,
+    /// Threads that started a CPU burst on this node (scheduling activity).
+    pub dispatches: AtomicU64,
+    /// Timeslice preemptions on this node.
+    pub preemptions: AtomicU64,
+}
+
+/// A plain-data snapshot of one node's counters.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct NodeSnapshot {
+    /// Messages sent from this node.
+    pub msgs_out: u64,
+    /// Messages delivered to this node.
+    pub msgs_in: u64,
+    /// Payload bytes sent from this node.
+    pub bytes_out: u64,
+    /// Threads that started a CPU burst on this node.
+    pub dispatches: u64,
+    /// Timeslice preemptions on this node.
+    pub preemptions: u64,
+}
+
+/// Shared, lock-free statistics for a whole cluster.
+///
+/// Engines update these as messages flow and threads are dispatched;
+/// harnesses read consistent-enough snapshots after a run completes (all
+/// threads quiesced), so relaxed ordering is sufficient.
+pub struct NetStats {
+    nodes: Vec<NodeCounters>,
+}
+
+impl NetStats {
+    /// Creates counters for a cluster of `nodes` nodes.
+    pub fn new(nodes: usize) -> Self {
+        NetStats {
+            nodes: (0..nodes).map(|_| NodeCounters::default()).collect(),
+        }
+    }
+
+    /// Records one message of `bytes` payload from `from` to `to`.
+    pub fn record_send(&self, from: usize, to: usize, bytes: usize) {
+        self.nodes[from].msgs_out.fetch_add(1, Ordering::Relaxed);
+        self.nodes[from]
+            .bytes_out
+            .fetch_add(bytes as u64, Ordering::Relaxed);
+        self.nodes[to].msgs_in.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one thread dispatch on `node`.
+    pub fn record_dispatch(&self, node: usize) {
+        self.nodes[node].dispatches.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one timeslice preemption on `node`.
+    pub fn record_preemption(&self, node: usize) {
+        self.nodes[node].preemptions.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Number of nodes covered.
+    pub fn node_count(&self) -> usize {
+        self.nodes.len()
+    }
+
+    /// Snapshot of one node's counters.
+    pub fn node(&self, node: usize) -> NodeSnapshot {
+        let n = &self.nodes[node];
+        NodeSnapshot {
+            msgs_out: n.msgs_out.load(Ordering::Relaxed),
+            msgs_in: n.msgs_in.load(Ordering::Relaxed),
+            bytes_out: n.bytes_out.load(Ordering::Relaxed),
+            dispatches: n.dispatches.load(Ordering::Relaxed),
+            preemptions: n.preemptions.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Total messages sent cluster-wide.
+    pub fn total_msgs(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.msgs_out.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total payload bytes sent cluster-wide.
+    pub fn total_bytes(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.bytes_out.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total thread dispatches cluster-wide.
+    pub fn total_dispatches(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.dispatches.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn send_updates_both_endpoints() {
+        let s = NetStats::new(3);
+        s.record_send(0, 2, 100);
+        s.record_send(0, 1, 50);
+        s.record_send(2, 0, 7);
+        assert_eq!(s.node(0).msgs_out, 2);
+        assert_eq!(s.node(0).bytes_out, 150);
+        assert_eq!(s.node(0).msgs_in, 1);
+        assert_eq!(s.node(2).msgs_in, 1);
+        assert_eq!(s.total_msgs(), 3);
+        assert_eq!(s.total_bytes(), 157);
+    }
+
+    #[test]
+    fn dispatch_and_preemption_counters() {
+        let s = NetStats::new(1);
+        s.record_dispatch(0);
+        s.record_dispatch(0);
+        s.record_preemption(0);
+        assert_eq!(s.node(0).dispatches, 2);
+        assert_eq!(s.node(0).preemptions, 1);
+        assert_eq!(s.total_dispatches(), 2);
+    }
+}

@@ -1,0 +1,176 @@
+//! Barrier synchronization.
+//!
+//! The SOR application of the paper's section 6 synchronizes all sections at
+//! a barrier after each iteration to test convergence; barriers are listed
+//! among Amber's built-in synchronization classes (section 2.2).
+//!
+//! This barrier is generation-counted and reusable: the last arrival of a
+//! generation releases everyone and resets the count.
+
+use amber_core::{AmberObject, Ctx, ObjRef};
+use amber_engine::ThreadId;
+
+/// Internal barrier state, an Amber object.
+pub struct BarrierState {
+    parties: usize,
+    arrived: usize,
+    generation: u64,
+    waiters: Vec<ThreadId>,
+}
+
+impl AmberObject for BarrierState {}
+
+/// A reusable barrier for a fixed number of participants.
+///
+/// Like every synchronization object it is mobile: placing the barrier on
+/// the node that hosts the coordinating master keeps the per-iteration
+/// rendezvous traffic predictable.
+#[derive(Clone, Copy)]
+pub struct Barrier {
+    state: ObjRef<BarrierState>,
+}
+
+impl Barrier {
+    /// Creates a barrier for `parties` participants on the calling node.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `parties` is zero.
+    pub fn new(ctx: &Ctx, parties: usize) -> Barrier {
+        assert!(parties > 0, "a barrier needs at least one party");
+        Barrier {
+            state: ctx.create(BarrierState {
+                parties,
+                arrived: 0,
+                generation: 0,
+                waiters: Vec::new(),
+            }),
+        }
+    }
+
+    /// The underlying object, for mobility operations.
+    pub fn object(&self) -> ObjRef<BarrierState> {
+        self.state
+    }
+
+    /// Blocks until all parties have called `wait` for this generation.
+    /// Returns `true` on exactly one participant per generation (the last
+    /// arrival), like a serial leader election.
+    pub fn wait(&self, ctx: &Ctx) -> bool {
+        let me = ctx.thread_id();
+        let (my_gen, leader, to_wake) = ctx.invoke(&self.state, |_, b| {
+            b.arrived += 1;
+            if b.arrived == b.parties {
+                b.arrived = 0;
+                b.generation += 1;
+                (b.generation, true, std::mem::take(&mut b.waiters))
+            } else {
+                b.waiters.push(me);
+                (b.generation, false, Vec::new())
+            }
+        });
+        if leader {
+            for w in to_wake {
+                ctx.unpark(w);
+            }
+            return true;
+        }
+        loop {
+            let passed = ctx.invoke_shared(&self.state, move |_, b| b.generation >= my_gen + 1);
+            if passed {
+                return false;
+            }
+            ctx.park("barrier-wait");
+        }
+    }
+
+    /// Number of participants.
+    pub fn parties(&self, ctx: &Ctx) -> usize {
+        ctx.invoke_shared(&self.state, |_, b| b.parties)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amber_core::{Cluster, NodeId, SimTime};
+
+    #[test]
+    fn all_threads_meet_and_exactly_one_leads() {
+        let c = Cluster::sim(2, 2);
+        let (leaders, max_before, min_after) = c
+            .run(|ctx| {
+                let n = 4;
+                let bar = Barrier::new(ctx, n);
+                let before = ctx.create(Vec::<u64>::new());
+                let after = ctx.create(Vec::<u64>::new());
+                let leaders = ctx.create(0u32);
+                let hs: Vec<_> = (0..n)
+                    .map(|i| {
+                        let a = ctx.create_on(NodeId((i % 2) as u16), 0u8);
+                        ctx.start(&a, move |ctx, _| {
+                            ctx.work(SimTime::from_ms(1 + i as u64));
+                            let t = ctx.now().as_ns();
+                            ctx.invoke(&before, move |_, v| v.push(t));
+                            if bar.wait(ctx) {
+                                ctx.invoke(&leaders, |_, l| *l += 1);
+                            }
+                            let t = ctx.now().as_ns();
+                            ctx.invoke(&after, move |_, v| v.push(t));
+                        })
+                    })
+                    .collect();
+                for h in hs {
+                    h.join(ctx);
+                }
+                let max_before = ctx.invoke(&before, |_, v| *v.iter().max().unwrap());
+                let min_after = ctx.invoke(&after, |_, v| *v.iter().min().unwrap());
+                (ctx.invoke(&leaders, |_, l| *l), max_before, min_after)
+            })
+            .unwrap();
+        assert_eq!(leaders, 1);
+        // Nobody proceeds past the barrier before the last arrival.
+        assert!(min_after >= max_before);
+    }
+
+    #[test]
+    fn barrier_is_reusable_across_generations() {
+        let c = Cluster::sim(1, 2);
+        let rounds_done = c
+            .run(|ctx| {
+                let bar = Barrier::new(ctx, 2);
+                let counter = ctx.create(0u32);
+                let anchors: Vec<_> = (0..2).map(|_| ctx.create(0u8)).collect();
+                let hs: Vec<_> = anchors
+                    .iter()
+                    .map(|a| {
+                        ctx.start(a, move |ctx, _| {
+                            for _ in 0..5 {
+                                if bar.wait(ctx) {
+                                    ctx.invoke(&counter, |_, n| *n += 1);
+                                }
+                            }
+                        })
+                    })
+                    .collect();
+                for h in hs {
+                    h.join(ctx);
+                }
+                ctx.invoke(&counter, |_, n| *n)
+            })
+            .unwrap();
+        assert_eq!(rounds_done, 5);
+    }
+
+    #[test]
+    fn single_party_barrier_never_blocks() {
+        let c = Cluster::sim(1, 1);
+        c.run(|ctx| {
+            let bar = Barrier::new(ctx, 1);
+            for _ in 0..3 {
+                assert!(bar.wait(ctx));
+            }
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,234 @@
+//! One-shot futures and countdown latches.
+//!
+//! Small compositions over the primitive objects (paper, section 2.2's
+//! extensible class hierarchy). A [`FutureCell`] is a write-once mailbox:
+//! the producer fulfills it from wherever it runs, consumers on any node
+//! block until the value is available and then read a shared reference.
+//! A [`Latch`] counts events down to zero and releases everyone waiting.
+
+use amber_core::{AmberObject, Ctx, ObjRef};
+use amber_engine::ThreadId;
+
+/// Internal future state, an Amber object.
+pub struct FutureState<T: Send + Sync + 'static> {
+    value: Option<T>,
+    waiters: Vec<ThreadId>,
+}
+
+impl<T: Send + Sync + 'static> AmberObject for FutureState<T> {}
+
+/// A write-once value readable from any node.
+pub struct FutureCell<T: Send + Sync + 'static> {
+    state: ObjRef<FutureState<T>>,
+}
+
+impl<T: Send + Sync + 'static> Clone for FutureCell<T> {
+    fn clone(&self) -> Self {
+        *self
+    }
+}
+
+impl<T: Send + Sync + 'static> Copy for FutureCell<T> {}
+
+impl<T: Send + Sync + 'static> FutureCell<T> {
+    /// Creates an empty future on the calling node.
+    pub fn new(ctx: &Ctx) -> FutureCell<T> {
+        FutureCell {
+            state: ctx.create(FutureState {
+                value: None,
+                waiters: Vec::new(),
+            }),
+        }
+    }
+
+    /// The underlying object, for mobility operations.
+    pub fn object(&self) -> ObjRef<FutureState<T>> {
+        self.state
+    }
+
+    /// Fulfills the future, waking every waiter.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the future was already fulfilled.
+    pub fn fulfill(&self, ctx: &Ctx, value: T) {
+        let to_wake = ctx.invoke(&self.state, move |_, s| {
+            assert!(s.value.is_none(), "future fulfilled twice");
+            s.value = Some(value);
+            std::mem::take(&mut s.waiters)
+        });
+        for t in to_wake {
+            ctx.unpark(t);
+        }
+    }
+
+    /// Blocks until fulfilled, then returns `f` applied to the value.
+    pub fn get<R>(&self, ctx: &Ctx, f: impl Fn(&T) -> R) -> R {
+        let me = ctx.thread_id();
+        loop {
+            enum Outcome<R> {
+                Ready(R),
+                Wait,
+            }
+            let out = ctx.invoke(&self.state, |_, s| match &s.value {
+                Some(v) => Outcome::Ready(f(v)),
+                None => {
+                    if !s.waiters.contains(&me) {
+                        s.waiters.push(me);
+                    }
+                    Outcome::Wait
+                }
+            });
+            match out {
+                Outcome::Ready(r) => return r,
+                Outcome::Wait => ctx.park("future-get"),
+            }
+        }
+    }
+
+    /// `true` if the future has been fulfilled.
+    pub fn is_ready(&self, ctx: &Ctx) -> bool {
+        ctx.invoke_shared(&self.state, |_, s| s.value.is_some())
+    }
+}
+
+/// Internal latch state, an Amber object.
+pub struct LatchState {
+    remaining: u64,
+    waiters: Vec<ThreadId>,
+}
+
+impl AmberObject for LatchState {}
+
+/// A countdown latch: `count_down` `n` times releases all waiters.
+#[derive(Clone, Copy)]
+pub struct Latch {
+    state: ObjRef<LatchState>,
+}
+
+impl Latch {
+    /// Creates a latch expecting `count` events.
+    pub fn new(ctx: &Ctx, count: u64) -> Latch {
+        Latch {
+            state: ctx.create(LatchState {
+                remaining: count,
+                waiters: Vec::new(),
+            }),
+        }
+    }
+
+    /// The underlying object, for mobility operations.
+    pub fn object(&self) -> ObjRef<LatchState> {
+        self.state
+    }
+
+    /// Records one event; the final event releases all waiters.
+    pub fn count_down(&self, ctx: &Ctx) {
+        let to_wake = ctx.invoke(&self.state, |_, s| {
+            s.remaining = s.remaining.saturating_sub(1);
+            if s.remaining == 0 {
+                std::mem::take(&mut s.waiters)
+            } else {
+                Vec::new()
+            }
+        });
+        for t in to_wake {
+            ctx.unpark(t);
+        }
+    }
+
+    /// Blocks until the count reaches zero.
+    pub fn wait(&self, ctx: &Ctx) {
+        let me = ctx.thread_id();
+        loop {
+            let open = ctx.invoke(&self.state, |_, s| {
+                if s.remaining == 0 {
+                    true
+                } else {
+                    if !s.waiters.contains(&me) {
+                        s.waiters.push(me);
+                    }
+                    false
+                }
+            });
+            if open {
+                return;
+            }
+            ctx.park("latch-wait");
+        }
+    }
+
+    /// Remaining events.
+    pub fn remaining(&self, ctx: &Ctx) -> u64 {
+        ctx.invoke_shared(&self.state, |_, s| s.remaining)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amber_core::{Cluster, NodeId, SimTime};
+
+    #[test]
+    fn future_delivers_across_nodes() {
+        let c = Cluster::sim(2, 2);
+        let got = c
+            .run(|ctx| {
+                let fut: FutureCell<String> = FutureCell::new(ctx);
+                let a = ctx.create_on(NodeId(1), 0u8);
+                let consumer = ctx.start(&a, move |ctx, _| fut.get(ctx, |s| s.len()));
+                ctx.sleep(SimTime::from_ms(20));
+                assert!(!fut.is_ready(ctx));
+                fut.fulfill(ctx, "hello amber".to_string());
+                consumer.join(ctx)
+            })
+            .unwrap();
+        assert_eq!(got, 11);
+    }
+
+    #[test]
+    fn future_already_ready_returns_immediately() {
+        let c = Cluster::sim(1, 1);
+        c.run(|ctx| {
+            let fut: FutureCell<u32> = FutureCell::new(ctx);
+            fut.fulfill(ctx, 7);
+            assert!(fut.is_ready(ctx));
+            assert_eq!(fut.get(ctx, |v| *v * 2), 14);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn double_fulfill_is_an_error() {
+        let c = Cluster::sim(1, 1);
+        let err = c
+            .run(|ctx| {
+                let fut: FutureCell<u32> = FutureCell::new(ctx);
+                fut.fulfill(ctx, 1);
+                fut.fulfill(ctx, 2);
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("fulfilled twice"), "{err}");
+    }
+
+    #[test]
+    fn latch_releases_only_at_zero() {
+        let c = Cluster::sim(2, 2);
+        c.run(|ctx| {
+            let latch = Latch::new(ctx, 3);
+            let a = ctx.create_on(NodeId(1), 0u8);
+            let waiter = ctx.start(&a, move |ctx, _| {
+                latch.wait(ctx);
+                ctx.now().as_ms()
+            });
+            for i in 0..3 {
+                ctx.sleep(SimTime::from_ms(10));
+                assert_eq!(latch.remaining(ctx), 3 - i);
+                latch.count_down(ctx);
+            }
+            let released_at = waiter.join(ctx);
+            assert!(released_at >= 30, "released early at {released_at}ms");
+        })
+        .unwrap();
+    }
+}

@@ -1,0 +1,253 @@
+//! Relinquishing locks.
+//!
+//! "Lock objects have additional advantages in a distributed environment
+//! because they are mobile and can be remotely invoked to enforce
+//! concurrency constraints involving multiple objects on different nodes"
+//! (paper, section 2.2).
+//!
+//! A [`Lock`] is an ordinary Amber object: acquiring it from another node is
+//! a remote invocation (the calling thread ships to the lock and back),
+//! which is exactly what makes distributed synchronization simple in a
+//! function-shipping system — and what the lock-thrashing ablation compares
+//! against a DSM lock variable.
+//!
+//! The relinquishing behaviour: a contended `acquire` parks the calling
+//! thread (giving up its processor) until a release hands the lock over.
+
+use amber_core::{AmberObject, Ctx, ObjRef};
+use amber_engine::ThreadId;
+
+/// Internal lock state, an Amber object.
+pub struct LockState {
+    holder: Option<ThreadId>,
+    waiters: std::collections::VecDeque<ThreadId>,
+}
+
+impl AmberObject for LockState {}
+
+/// A mobile, remotely-invocable mutual-exclusion lock that blocks (parks)
+/// contending threads.
+///
+/// # Examples
+///
+/// ```
+/// use amber_core::Cluster;
+/// use amber_sync::Lock;
+///
+/// let cluster = Cluster::sim(1, 2);
+/// cluster
+///     .run(|ctx| {
+///         let lock = Lock::new(ctx);
+///         lock.acquire(ctx);
+///         // ... critical section ...
+///         lock.release(ctx);
+///     })
+///     .unwrap();
+/// ```
+#[derive(Clone, Copy)]
+pub struct Lock {
+    state: ObjRef<LockState>,
+}
+
+impl Lock {
+    /// Creates an unlocked lock on the calling thread's node.
+    pub fn new(ctx: &Ctx) -> Lock {
+        Lock {
+            state: ctx.create(LockState {
+                holder: None,
+                waiters: std::collections::VecDeque::new(),
+            }),
+        }
+    }
+
+    /// The underlying object, for mobility operations (`move_to`, `attach`).
+    pub fn object(&self) -> ObjRef<LockState> {
+        self.state
+    }
+
+    /// Acquires the lock, parking until available.
+    ///
+    /// # Panics
+    ///
+    /// Panics on recursive acquisition by the holder.
+    pub fn acquire(&self, ctx: &Ctx) {
+        let me = ctx.thread_id();
+        loop {
+            let got = ctx.invoke(&self.state, |_, l| {
+                assert_ne!(l.holder, Some(me), "recursive Lock::acquire");
+                if l.holder.is_none() {
+                    l.holder = Some(me);
+                    true
+                } else {
+                    if !l.waiters.contains(&me) {
+                        l.waiters.push_back(me);
+                    }
+                    false
+                }
+            });
+            if got {
+                return;
+            }
+            ctx.park("lock-acquire");
+        }
+    }
+
+    /// Attempts to acquire without blocking; `true` on success.
+    pub fn try_acquire(&self, ctx: &Ctx) -> bool {
+        let me = ctx.thread_id();
+        ctx.invoke(&self.state, |_, l| {
+            if l.holder.is_none() {
+                l.holder = Some(me);
+                true
+            } else {
+                false
+            }
+        })
+    }
+
+    /// Releases the lock and wakes the longest-waiting contender.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller does not hold the lock.
+    pub fn release(&self, ctx: &Ctx) {
+        let me = ctx.thread_id();
+        let next = ctx.invoke(&self.state, |_, l| {
+            assert_eq!(l.holder, Some(me), "Lock::release by non-holder");
+            l.holder = None;
+            l.waiters.pop_front()
+        });
+        if let Some(w) = next {
+            ctx.unpark(w);
+        }
+    }
+
+    /// `true` if some thread currently holds the lock.
+    pub fn is_held(&self, ctx: &Ctx) -> bool {
+        ctx.invoke_shared(&self.state, |_, l| l.holder.is_some())
+    }
+
+    /// Runs `f` under the lock.
+    pub fn with<R>(&self, ctx: &Ctx, f: impl FnOnce(&Ctx) -> R) -> R {
+        self.acquire(ctx);
+        let r = f(ctx);
+        self.release(ctx);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amber_core::{Cluster, NodeId, SimTime};
+
+    #[test]
+    fn uncontended_acquire_release() {
+        let c = Cluster::sim(1, 1);
+        c.run(|ctx| {
+            let l = Lock::new(ctx);
+            assert!(!l.is_held(ctx));
+            l.acquire(ctx);
+            assert!(l.is_held(ctx));
+            assert!(!l.try_acquire(ctx));
+            l.release(ctx);
+            assert!(l.try_acquire(ctx));
+            l.release(ctx);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn mutual_exclusion_under_contention() {
+        let c = Cluster::sim(1, 4);
+        let violations = c
+            .run(|ctx| {
+                let l = Lock::new(ctx);
+                let in_cs = ctx.create(0u32);
+                let violations = ctx.create(0u32);
+                let anchors: Vec<_> = (0..4).map(|_| ctx.create(0u8)).collect();
+                let hs: Vec<_> = anchors
+                    .iter()
+                    .map(|a| {
+                        ctx.start(a, move |ctx, _| {
+                            for _ in 0..5 {
+                                l.acquire(ctx);
+                                let overlapped = ctx.invoke(&in_cs, |_, n| {
+                                    *n += 1;
+                                    *n > 1
+                                });
+                                if overlapped {
+                                    ctx.invoke(&violations, |_, v| *v += 1);
+                                }
+                                ctx.work(SimTime::from_us(100));
+                                ctx.invoke(&in_cs, |_, n| *n -= 1);
+                                l.release(ctx);
+                            }
+                        })
+                    })
+                    .collect();
+                for h in hs {
+                    h.join(ctx);
+                }
+                ctx.invoke(&violations, |_, v| *v)
+            })
+            .unwrap();
+        assert_eq!(violations, 0);
+    }
+
+    #[test]
+    fn lock_is_usable_across_nodes() {
+        let c = Cluster::sim(3, 1);
+        let order = c
+            .run(|ctx| {
+                let l = Lock::new(ctx);
+                let log = ctx.create(Vec::<u16>::new());
+                let hs: Vec<_> = (0..3u16)
+                    .map(|i| {
+                        let a = ctx.create_on(NodeId(i), 0u8);
+                        ctx.start(&a, move |ctx, _| {
+                            l.with(ctx, |ctx| {
+                                ctx.invoke(&log, move |_, v| v.push(i));
+                                ctx.work(SimTime::from_ms(1));
+                            });
+                        })
+                    })
+                    .collect();
+                for h in hs {
+                    h.join(ctx);
+                }
+                ctx.invoke(&log, |_, v| v.clone())
+            })
+            .unwrap();
+        let mut sorted = order.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn lock_can_be_moved_between_uses() {
+        let c = Cluster::sim(2, 1);
+        c.run(|ctx| {
+            let l = Lock::new(ctx);
+            l.acquire(ctx);
+            l.release(ctx);
+            ctx.move_to(&l.object(), NodeId(1));
+            assert_eq!(ctx.locate(&l.object()), NodeId(1));
+            l.acquire(ctx);
+            l.release(ctx);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn release_by_non_holder_is_an_error() {
+        let c = Cluster::sim(1, 1);
+        let err = c
+            .run(|ctx| {
+                let l = Lock::new(ctx);
+                l.release(ctx);
+            })
+            .unwrap_err();
+        assert!(err.to_string().contains("non-holder"), "{err}");
+    }
+}

@@ -1,0 +1,230 @@
+//! Monitors and condition variables (paper, section 2.2).
+//!
+//! A [`Monitor`] couples a relinquishing lock with any number of
+//! [`CondVar`]s. The intended style follows the paper: "programmers will
+//! select an appropriate concurrency control scheme for each user object and
+//! encapsulate the details of the synchronization within the class" — a
+//! monitored object holds a `Monitor` next to its data and brackets its
+//! operations with `enter`/`exit`.
+
+use amber_core::{AmberObject, Ctx, ObjRef};
+use amber_engine::ThreadId;
+
+use crate::lock::Lock;
+
+/// Internal condition-variable state, an Amber object.
+pub struct CondState {
+    waiters: Vec<ThreadId>,
+    /// Wake-ups issued to threads that have registered but not yet parked
+    /// are handled by the runtime's pending-wake permits; this counter only
+    /// tracks signals for statistics.
+    signals: u64,
+}
+
+impl AmberObject for CondState {}
+
+/// A monitor: a mutual-exclusion region with condition synchronization.
+#[derive(Clone, Copy)]
+pub struct Monitor {
+    lock: Lock,
+}
+
+impl Monitor {
+    /// Creates a monitor on the calling thread's node.
+    pub fn new(ctx: &Ctx) -> Monitor {
+        Monitor { lock: Lock::new(ctx) }
+    }
+
+    /// Enters the monitor (acquires its mutex).
+    pub fn enter(&self, ctx: &Ctx) {
+        self.lock.acquire(ctx);
+    }
+
+    /// Exits the monitor.
+    pub fn exit(&self, ctx: &Ctx) {
+        self.lock.release(ctx);
+    }
+
+    /// Runs `f` inside the monitor.
+    pub fn with<R>(&self, ctx: &Ctx, f: impl FnOnce(&Ctx) -> R) -> R {
+        self.lock.with(ctx, f)
+    }
+
+    /// Creates a condition variable tied to this monitor, co-located with
+    /// it (the condition object is attached to the lock object so the pair
+    /// moves as one).
+    pub fn condition(&self, ctx: &Ctx) -> CondVar {
+        let state = ctx.create(CondState {
+            waiters: Vec::new(),
+            signals: 0,
+        });
+        ctx.attach(&state, &self.lock.object());
+        CondVar {
+            state,
+            monitor: *self,
+        }
+    }
+
+    /// The monitor's lock, e.g. for mobility operations.
+    pub fn lock(&self) -> Lock {
+        self.lock
+    }
+}
+
+/// A condition variable; `wait` must be called with the monitor entered.
+#[derive(Clone, Copy)]
+pub struct CondVar {
+    state: ObjRef<CondState>,
+    monitor: Monitor,
+}
+
+impl CondVar {
+    /// Atomically registers as a waiter, exits the monitor, parks, and
+    /// re-enters the monitor before returning (Mesa semantics: re-check the
+    /// predicate in a loop).
+    pub fn wait(&self, ctx: &Ctx) {
+        let me = ctx.thread_id();
+        ctx.invoke(&self.state, |_, c| c.waiters.push(me));
+        self.monitor.exit(ctx);
+        ctx.park("condvar-wait");
+        self.monitor.enter(ctx);
+    }
+
+    /// Wakes one waiter, if any. May be called with or without the monitor.
+    pub fn signal(&self, ctx: &Ctx) {
+        let next = ctx.invoke(&self.state, |_, c| {
+            c.signals += 1;
+            if c.waiters.is_empty() {
+                None
+            } else {
+                Some(c.waiters.remove(0))
+            }
+        });
+        if let Some(w) = next {
+            ctx.unpark(w);
+        }
+    }
+
+    /// Wakes every waiter.
+    pub fn broadcast(&self, ctx: &Ctx) {
+        let all = ctx.invoke(&self.state, |_, c| {
+            c.signals += 1;
+            std::mem::take(&mut c.waiters)
+        });
+        for w in all {
+            ctx.unpark(w);
+        }
+    }
+
+    /// Number of signals/broadcasts issued so far (diagnostics).
+    pub fn signal_count(&self, ctx: &Ctx) -> u64 {
+        ctx.invoke_shared(&self.state, |_, c| c.signals)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amber_core::{Cluster, NodeId};
+
+    #[test]
+    fn bounded_buffer_producer_consumer() {
+        let c = Cluster::sim(2, 2);
+        let consumed = c
+            .run(|ctx| {
+                let mon = Monitor::new(ctx);
+                let not_empty = mon.condition(ctx);
+                let not_full = mon.condition(ctx);
+                let buffer = ctx.create(Vec::<u32>::new());
+                const CAP: usize = 4;
+                const ITEMS: u32 = 20;
+
+                let panchor = ctx.create(0u8);
+                let producer = ctx.start(&panchor, move |ctx, _| {
+                    for i in 0..ITEMS {
+                        mon.enter(ctx);
+                        while ctx.invoke_shared(&buffer, |_, b| b.len() >= CAP) {
+                            not_full.wait(ctx);
+                        }
+                        ctx.invoke(&buffer, move |_, b| b.push(i));
+                        not_empty.signal(ctx);
+                        mon.exit(ctx);
+                    }
+                });
+
+                let canchor = ctx.create_on(NodeId(1), 0u8);
+                let consumer = ctx.start(&canchor, move |ctx, _| {
+                    let mut got = Vec::new();
+                    for _ in 0..ITEMS {
+                        mon.enter(ctx);
+                        while ctx.invoke_shared(&buffer, |_, b| b.is_empty()) {
+                            not_empty.wait(ctx);
+                        }
+                        let v = ctx.invoke(&buffer, |_, b| b.remove(0));
+                        got.push(v);
+                        not_full.signal(ctx);
+                        mon.exit(ctx);
+                    }
+                    got
+                });
+
+                producer.join(ctx);
+                consumer.join(ctx)
+            })
+            .unwrap();
+        assert_eq!(consumed, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn broadcast_wakes_everyone() {
+        let c = Cluster::sim(1, 4);
+        let woken = c
+            .run(|ctx| {
+                let mon = Monitor::new(ctx);
+                let cv = mon.condition(ctx);
+                let ready = ctx.create(false);
+                let woken = ctx.create(0u32);
+                let anchors: Vec<_> = (0..3).map(|_| ctx.create(0u8)).collect();
+                let hs: Vec<_> = anchors
+                    .iter()
+                    .map(|a| {
+                        ctx.start(a, move |ctx, _| {
+                            mon.enter(ctx);
+                            while !ctx.invoke_shared(&ready, |_, r| *r) {
+                                cv.wait(ctx);
+                            }
+                            ctx.invoke(&woken, |_, w| *w += 1);
+                            mon.exit(ctx);
+                        })
+                    })
+                    .collect();
+                ctx.sleep(amber_core::SimTime::from_ms(200));
+                mon.enter(ctx);
+                ctx.invoke(&ready, |_, r| *r = true);
+                cv.broadcast(ctx);
+                mon.exit(ctx);
+                for h in hs {
+                    h.join(ctx);
+                }
+                ctx.invoke(&woken, |_, w| *w)
+            })
+            .unwrap();
+        assert_eq!(woken, 3);
+    }
+
+    #[test]
+    fn condvar_moves_with_its_monitor() {
+        let c = Cluster::sim(2, 1);
+        c.run(|ctx| {
+            let mon = Monitor::new(ctx);
+            let cv = mon.condition(ctx);
+            ctx.move_to(&mon.lock().object(), NodeId(1));
+            // The attached condition object moved along.
+            assert_eq!(ctx.locate(&mon.lock().object()), NodeId(1));
+            assert_eq!(cv.signal_count(ctx), 0);
+            mon.with(ctx, |ctx| cv.signal(ctx));
+            assert_eq!(cv.signal_count(ctx), 1);
+        })
+        .unwrap();
+    }
+}

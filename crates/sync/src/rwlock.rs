@@ -1,0 +1,240 @@
+//! Reader/writer locks, built from the primitive synchronization objects
+//! exactly as the paper invites: "programmers can extend the class
+//! hierarchy to define custom mechanisms for concurrency control using
+//! these primitive synchronization objects" (section 2.2).
+
+use amber_core::{AmberObject, Ctx, ObjRef};
+use amber_engine::ThreadId;
+
+/// Internal reader/writer state, an Amber object.
+pub struct RwState {
+    readers: u32,
+    writer: Option<ThreadId>,
+    /// Writers waiting; preferred over new readers to avoid starvation.
+    write_waiters: std::collections::VecDeque<ThreadId>,
+    read_waiters: Vec<ThreadId>,
+}
+
+impl AmberObject for RwState {}
+
+/// A writer-preferring reader/writer lock.
+#[derive(Clone, Copy)]
+pub struct RwLock {
+    state: ObjRef<RwState>,
+}
+
+impl RwLock {
+    /// Creates an unlocked reader/writer lock on the calling node.
+    pub fn new(ctx: &Ctx) -> RwLock {
+        RwLock {
+            state: ctx.create(RwState {
+                readers: 0,
+                writer: None,
+                write_waiters: std::collections::VecDeque::new(),
+                read_waiters: Vec::new(),
+            }),
+        }
+    }
+
+    /// The underlying object, for mobility operations.
+    pub fn object(&self) -> ObjRef<RwState> {
+        self.state
+    }
+
+    /// Acquires shared (read) access.
+    pub fn read_lock(&self, ctx: &Ctx) {
+        let me = ctx.thread_id();
+        loop {
+            let got = ctx.invoke(&self.state, |_, s| {
+                if s.writer.is_none() && s.write_waiters.is_empty() {
+                    s.readers += 1;
+                    true
+                } else {
+                    if !s.read_waiters.contains(&me) {
+                        s.read_waiters.push(me);
+                    }
+                    false
+                }
+            });
+            if got {
+                return;
+            }
+            ctx.park("rwlock-read");
+        }
+    }
+
+    /// Releases shared access.
+    ///
+    /// # Panics
+    ///
+    /// Panics if no reader holds the lock.
+    pub fn read_unlock(&self, ctx: &Ctx) {
+        let to_wake = ctx.invoke(&self.state, |_, s| {
+            assert!(s.readers > 0, "read_unlock without readers");
+            s.readers -= 1;
+            if s.readers == 0 {
+                s.write_waiters.pop_front().into_iter().collect::<Vec<_>>()
+            } else {
+                Vec::new()
+            }
+        });
+        for t in to_wake {
+            ctx.unpark(t);
+        }
+    }
+
+    /// Acquires exclusive (write) access.
+    pub fn write_lock(&self, ctx: &Ctx) {
+        let me = ctx.thread_id();
+        loop {
+            let got = ctx.invoke(&self.state, |_, s| {
+                if s.writer.is_none() && s.readers == 0 {
+                    s.writer = Some(me);
+                    true
+                } else {
+                    if !s.write_waiters.contains(&me) {
+                        s.write_waiters.push_back(me);
+                    }
+                    false
+                }
+            });
+            if got {
+                return;
+            }
+            ctx.park("rwlock-write");
+        }
+    }
+
+    /// Releases exclusive access, preferring queued writers, else waking
+    /// all queued readers.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the caller does not hold the write lock.
+    pub fn write_unlock(&self, ctx: &Ctx) {
+        let me = ctx.thread_id();
+        let to_wake = ctx.invoke(&self.state, |_, s| {
+            assert_eq!(s.writer, Some(me), "write_unlock by non-writer");
+            s.writer = None;
+            if let Some(w) = s.write_waiters.pop_front() {
+                vec![w]
+            } else {
+                std::mem::take(&mut s.read_waiters)
+            }
+        });
+        for t in to_wake {
+            ctx.unpark(t);
+        }
+    }
+
+    /// Runs `f` under shared access.
+    pub fn with_read<R>(&self, ctx: &Ctx, f: impl FnOnce(&Ctx) -> R) -> R {
+        self.read_lock(ctx);
+        let r = f(ctx);
+        self.read_unlock(ctx);
+        r
+    }
+
+    /// Runs `f` under exclusive access.
+    pub fn with_write<R>(&self, ctx: &Ctx, f: impl FnOnce(&Ctx) -> R) -> R {
+        self.write_lock(ctx);
+        let r = f(ctx);
+        self.write_unlock(ctx);
+        r
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amber_core::{Cluster, NodeId, SimTime};
+
+    #[test]
+    fn readers_share_writers_exclude() {
+        let c = Cluster::sim(2, 2);
+        let (max_readers, writer_overlap) = c
+            .run(|ctx| {
+                let rw = RwLock::new(ctx);
+                let active = ctx.create((0i32, 0i32, false)); // (readers, max, writer_in)
+                let overlap = ctx.create(false);
+                let mut hs = Vec::new();
+                for i in 0..4u16 {
+                    let a = ctx.create_on(NodeId(i % 2), 0u8);
+                    hs.push(ctx.start(&a, move |ctx, _| {
+                        for _ in 0..3 {
+                            rw.with_read(ctx, |ctx| {
+                                ctx.invoke(&active, |_, s| {
+                                    s.0 += 1;
+                                    s.1 = s.1.max(s.0);
+                                });
+                                if ctx.invoke_shared(&active, |_, s| s.2) {
+                                    ctx.invoke(&overlap, |_, o| *o = true);
+                                }
+                                ctx.work(SimTime::from_us(200));
+                                ctx.invoke(&active, |_, s| s.0 -= 1);
+                            });
+                        }
+                    }));
+                }
+                for i in 0..2u16 {
+                    let a = ctx.create_on(NodeId(i), 0u8);
+                    hs.push(ctx.start(&a, move |ctx, _| {
+                        for _ in 0..3 {
+                            rw.with_write(ctx, |ctx| {
+                                ctx.invoke(&active, |_, s| s.2 = true);
+                                if ctx.invoke_shared(&active, |_, s| s.0 > 0) {
+                                    ctx.invoke(&overlap, |_, o| *o = true);
+                                }
+                                ctx.work(SimTime::from_us(200));
+                                ctx.invoke(&active, |_, s| s.2 = false);
+                            });
+                        }
+                    }));
+                }
+                for h in hs {
+                    h.join(ctx);
+                }
+                (
+                    ctx.invoke(&active, |_, s| s.1),
+                    ctx.invoke(&overlap, |_, o| *o),
+                )
+            })
+            .unwrap();
+        assert!(max_readers >= 2, "readers never overlapped ({max_readers})");
+        assert!(!writer_overlap, "a writer overlapped another holder");
+    }
+
+    #[test]
+    fn writers_are_not_starved_by_readers() {
+        let c = Cluster::sim(1, 3);
+        let writer_done_at = c
+            .run(|ctx| {
+                let rw = RwLock::new(ctx);
+                let mut hs = Vec::new();
+                // A stream of readers...
+                for _ in 0..2 {
+                    let a = ctx.create(0u8);
+                    hs.push(ctx.start(&a, move |ctx, _| {
+                        for _ in 0..10 {
+                            rw.with_read(ctx, |ctx| ctx.work(SimTime::from_ms(1)));
+                        }
+                        0u64
+                    }));
+                }
+                // ...and one writer that must get in well before they finish.
+                let a = ctx.create(0u8);
+                hs.push(ctx.start(&a, move |ctx, _| {
+                    ctx.sleep(SimTime::from_ms(2));
+                    rw.with_write(ctx, |ctx| ctx.work(SimTime::from_us(100)));
+                    ctx.now().as_ms()
+                }));
+                let results: Vec<u64> = hs.into_iter().map(|h| h.join(ctx)).collect();
+                results[2]
+            })
+            .unwrap();
+        assert!(
+            writer_done_at < 15,
+            "writer starved until {writer_done_at}ms"
+        );
+    }
+}

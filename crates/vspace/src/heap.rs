@@ -1,0 +1,317 @@
+//! Per-node heap allocation over assigned regions.
+//!
+//! Two constraints from the paper shape this allocator (section 3.2):
+//!
+//! 1. Nodes allocate only from regions assigned to them, so no distributed
+//!    agreement is needed per allocation; when a node exhausts its pool it
+//!    asks the address-space server for another region.
+//! 2. "the heap allocation algorithm [is] constrained so that heap blocks
+//!    are never divided once they have been returned to the free pool" —
+//!    this is what makes a stale reference to a reused block land on a
+//!    well-formed descriptor rather than the middle of another object.
+//!
+//! Fresh space is bump-allocated from the current region; freed blocks are
+//! reused whole (first block large enough wins), never split.
+
+use std::collections::{BTreeMap, HashMap, VecDeque};
+
+use amber_engine::NodeId;
+
+use crate::addr::{RegionId, VAddr, REGION_BYTES};
+
+/// Allocation granularity; all block sizes round up to this.
+pub const ALIGN: u64 = 16;
+
+/// Errors from heap operations.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum HeapError {
+    /// The node has no region with enough free space; the caller must fetch
+    /// a new region from the address-space server and retry.
+    NeedRegion,
+    /// An allocation larger than a whole region was requested.
+    TooLarge {
+        /// The rounded size that was requested.
+        requested: u64,
+    },
+    /// `free` was called on an address that is not a live block start.
+    BadFree {
+        /// The offending address.
+        addr: VAddr,
+    },
+}
+
+impl std::fmt::Display for HeapError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            HeapError::NeedRegion => write!(f, "node heap exhausted; a new region is needed"),
+            HeapError::TooLarge { requested } => {
+                write!(f, "allocation of {requested} bytes exceeds the region size")
+            }
+            HeapError::BadFree { addr } => write!(f, "free of non-allocated address {addr}"),
+        }
+    }
+}
+
+impl std::error::Error for HeapError {}
+
+/// A node's private heap over its assigned regions.
+#[derive(Debug)]
+pub struct NodeHeap {
+    node: NodeId,
+    /// Bump state of the region currently being carved: (region, next offset).
+    current: Option<(RegionId, u64)>,
+    /// Regions fully carved (kept for accounting).
+    retired: Vec<RegionId>,
+    /// Free blocks by block size; reused whole, never split.
+    free: BTreeMap<u64, VecDeque<VAddr>>,
+    /// Block identity: start address -> (size, live?). Block boundaries are
+    /// permanent once created (the never-split rule).
+    blocks: HashMap<VAddr, Block>,
+    live_bytes: u64,
+    alloc_count: u64,
+    reuse_count: u64,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Block {
+    size: u64,
+    live: bool,
+}
+
+impl NodeHeap {
+    /// Creates an empty heap for `node`; it cannot allocate until the first
+    /// [`add_region`](NodeHeap::add_region).
+    pub fn new(node: NodeId) -> Self {
+        NodeHeap {
+            node,
+            current: None,
+            retired: Vec::new(),
+            free: BTreeMap::new(),
+            blocks: HashMap::new(),
+            live_bytes: 0,
+            alloc_count: 0,
+            reuse_count: 0,
+        }
+    }
+
+    /// The node this heap belongs to.
+    pub fn node(&self) -> NodeId {
+        self.node
+    }
+
+    /// Grants this heap a new region (obtained from the address-space
+    /// server by the caller).
+    pub fn add_region(&mut self, region: RegionId) {
+        if let Some((r, off)) = self.current.take() {
+            // Anything left in the old region becomes one terminal free
+            // block (never split), unless it is empty.
+            let left = REGION_BYTES - off;
+            if left >= ALIGN {
+                let addr = r.base().offset(off);
+                self.blocks.insert(addr, Block { size: left, live: false });
+                self.free.entry(left).or_default().push_back(addr);
+            }
+            self.retired.push(r);
+        }
+        self.current = Some((region, 0));
+    }
+
+    /// Allocates a block of at least `size` bytes.
+    ///
+    /// Returns [`HeapError::NeedRegion`] when the node's pool is exhausted;
+    /// the caller fetches a region from the server, calls
+    /// [`add_region`](NodeHeap::add_region), and retries.
+    pub fn alloc(&mut self, size: u64) -> Result<VAddr, HeapError> {
+        let size = round_up(size.max(1));
+        if size > REGION_BYTES {
+            return Err(HeapError::TooLarge { requested: size });
+        }
+        // First fit from the free pool: the smallest free block that is
+        // large enough, reused whole.
+        let fit = self
+            .free
+            .range(size..)
+            .next()
+            .map(|(s, _)| *s);
+        if let Some(block_size) = fit {
+            let queue = self.free.get_mut(&block_size).expect("size class vanished");
+            let addr = queue.pop_front().expect("empty size class left behind");
+            if queue.is_empty() {
+                self.free.remove(&block_size);
+            }
+            let b = self.blocks.get_mut(&addr).expect("free block without identity");
+            debug_assert!(!b.live, "free list held a live block");
+            b.live = true;
+            self.live_bytes += b.size;
+            self.alloc_count += 1;
+            self.reuse_count += 1;
+            return Ok(addr);
+        }
+        // Bump from the current region.
+        match self.current {
+            Some((region, off)) if off + size <= REGION_BYTES => {
+                let addr = region.base().offset(off);
+                self.current = Some((region, off + size));
+                self.blocks.insert(addr, Block { size, live: true });
+                self.live_bytes += size;
+                self.alloc_count += 1;
+                Ok(addr)
+            }
+            _ => Err(HeapError::NeedRegion),
+        }
+    }
+
+    /// Returns a block to the free pool. The block keeps its identity and
+    /// size forever (the never-split rule).
+    pub fn free(&mut self, addr: VAddr) -> Result<(), HeapError> {
+        match self.blocks.get_mut(&addr) {
+            Some(b) if b.live => {
+                b.live = false;
+                self.live_bytes -= b.size;
+                self.free.entry(b.size).or_default().push_back(addr);
+                Ok(())
+            }
+            _ => Err(HeapError::BadFree { addr }),
+        }
+    }
+
+    /// The usable size of the live block at `addr`, if it is live.
+    pub fn size_of(&self, addr: VAddr) -> Option<u64> {
+        self.blocks.get(&addr).filter(|b| b.live).map(|b| b.size)
+    }
+
+    /// Bytes currently allocated to live blocks.
+    pub fn live_bytes(&self) -> u64 {
+        self.live_bytes
+    }
+
+    /// Total successful allocations.
+    pub fn alloc_count(&self) -> u64 {
+        self.alloc_count
+    }
+
+    /// Allocations served by reusing a freed block.
+    pub fn reuse_count(&self) -> u64 {
+        self.reuse_count
+    }
+
+    /// Regions this heap has consumed (retired plus current).
+    pub fn region_count(&self) -> usize {
+        self.retired.len() + usize::from(self.current.is_some())
+    }
+}
+
+fn round_up(size: u64) -> u64 {
+    (size + ALIGN - 1) & !(ALIGN - 1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn heap_with_region(region: u64) -> NodeHeap {
+        let mut h = NodeHeap::new(NodeId(0));
+        h.add_region(RegionId(region));
+        h
+    }
+
+    #[test]
+    fn alloc_before_region_needs_region() {
+        let mut h = NodeHeap::new(NodeId(0));
+        assert_eq!(h.alloc(64), Err(HeapError::NeedRegion));
+    }
+
+    #[test]
+    fn bump_allocations_are_disjoint() {
+        let mut h = heap_with_region(16);
+        let a = h.alloc(40).unwrap();
+        let b = h.alloc(100).unwrap();
+        // 40 rounds to 48.
+        assert_eq!(b.raw() - a.raw(), 48);
+        assert_eq!(h.size_of(a), Some(48));
+        assert_eq!(h.size_of(b), Some(112));
+        assert_eq!(h.alloc_count(), 2);
+    }
+
+    #[test]
+    fn free_then_realloc_reuses_whole_block() {
+        let mut h = heap_with_region(16);
+        let a = h.alloc(256).unwrap();
+        h.free(a).unwrap();
+        // A smaller request reuses the 256-byte block whole: never split.
+        let b = h.alloc(16).unwrap();
+        assert_eq!(a, b);
+        assert_eq!(h.size_of(b), Some(256));
+        assert_eq!(h.reuse_count(), 1);
+    }
+
+    #[test]
+    fn smaller_free_blocks_are_skipped() {
+        let mut h = heap_with_region(16);
+        let small = h.alloc(32).unwrap();
+        let big = h.alloc(512).unwrap();
+        h.free(small).unwrap();
+        h.free(big).unwrap();
+        let c = h.alloc(128).unwrap();
+        // The 32-byte block cannot satisfy 128; the 512-byte one is reused.
+        assert_eq!(c, big);
+    }
+
+    #[test]
+    fn double_free_is_an_error() {
+        let mut h = heap_with_region(16);
+        let a = h.alloc(64).unwrap();
+        h.free(a).unwrap();
+        assert_eq!(h.free(a), Err(HeapError::BadFree { addr: a }));
+    }
+
+    #[test]
+    fn free_of_unknown_address_is_an_error() {
+        let mut h = heap_with_region(16);
+        let bogus = VAddr(12345);
+        assert_eq!(h.free(bogus), Err(HeapError::BadFree { addr: bogus }));
+    }
+
+    #[test]
+    fn region_exhaustion_then_extension() {
+        let mut h = heap_with_region(16);
+        // Fill the region with four quarter-region blocks.
+        let quarter = REGION_BYTES / 4;
+        for _ in 0..4 {
+            h.alloc(quarter).unwrap();
+        }
+        assert_eq!(h.alloc(quarter), Err(HeapError::NeedRegion));
+        h.add_region(RegionId(99));
+        let a = h.alloc(quarter).unwrap();
+        assert_eq!(a.region(), RegionId(99));
+        assert_eq!(h.region_count(), 2);
+    }
+
+    #[test]
+    fn leftover_of_old_region_stays_usable() {
+        let mut h = heap_with_region(16);
+        h.alloc(REGION_BYTES / 2).unwrap();
+        h.add_region(RegionId(17));
+        // The second half of region 16 became one big free block.
+        let a = h.alloc(REGION_BYTES / 2).unwrap();
+        assert_eq!(a.region(), RegionId(16));
+    }
+
+    #[test]
+    fn too_large_is_rejected() {
+        let mut h = heap_with_region(16);
+        assert!(matches!(
+            h.alloc(REGION_BYTES + 1),
+            Err(HeapError::TooLarge { .. })
+        ));
+    }
+
+    #[test]
+    fn live_bytes_tracks_alloc_and_free() {
+        let mut h = heap_with_region(16);
+        let a = h.alloc(100).unwrap(); // rounds to 112
+        assert_eq!(h.live_bytes(), 112);
+        h.free(a).unwrap();
+        assert_eq!(h.live_bytes(), 0);
+    }
+}

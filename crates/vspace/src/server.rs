@@ -1,0 +1,151 @@
+//! The address-space server.
+//!
+//! "Each node is assigned a private region of the virtual address space at
+//! startup time for its local heap allocations. ... a large part of the
+//! address space is left unallocated at startup and is handed out later by
+//! an address space server as nodes exhaust their initial pool."
+//! (paper, section 3.1)
+//!
+//! The server is the single authority for which node owns which region; the
+//! owner of an object's region is the object's *home node*, used to resolve
+//! references through uninitialized descriptors (section 3.3). The server
+//! itself is plain data here; `amber-core` places it on the boot node and
+//! charges message costs when other nodes consult it.
+
+use std::collections::HashMap;
+
+use amber_engine::NodeId;
+
+use crate::addr::{RegionId, VAddr, HEAP_BASE, REGION_BYTES};
+
+/// Authority for region-to-node assignment.
+///
+/// Regions are handed out in address order starting at [`HEAP_BASE`], so
+/// assignments are deterministic given the request order.
+#[derive(Debug)]
+pub struct AddressSpaceServer {
+    next_region: u64,
+    owners: HashMap<RegionId, NodeId>,
+}
+
+impl AddressSpaceServer {
+    /// Creates a server whose first region starts at [`HEAP_BASE`].
+    pub fn new() -> Self {
+        AddressSpaceServer {
+            next_region: HEAP_BASE / REGION_BYTES,
+            owners: HashMap::new(),
+        }
+    }
+
+    /// Assigns the next free region to `node` and returns it.
+    pub fn assign(&mut self, node: NodeId) -> RegionId {
+        let r = RegionId(self.next_region);
+        self.next_region += 1;
+        self.owners.insert(r, node);
+        r
+    }
+
+    /// The node that owns `region`, if it has been assigned.
+    pub fn owner(&self, region: RegionId) -> Option<NodeId> {
+        self.owners.get(&region).copied()
+    }
+
+    /// The home node of the object at `addr`: the owner of its region.
+    pub fn home_of(&self, addr: VAddr) -> Option<NodeId> {
+        self.owner(addr.region())
+    }
+
+    /// Number of regions assigned so far.
+    pub fn assigned(&self) -> usize {
+        self.owners.len()
+    }
+}
+
+impl Default for AddressSpaceServer {
+    fn default() -> Self {
+        AddressSpaceServer::new()
+    }
+}
+
+/// A node's local cache of region ownership, filled lazily from the server.
+///
+/// "a reference to the node that owns each heap region is obtained from the
+/// address space server when the region is first mapped by a task"
+/// (section 3.3). A [`lookup`](RegionMap::lookup) miss means the node must
+/// pay a round trip to the server; `amber-core` charges it and then calls
+/// [`learn`](RegionMap::learn).
+#[derive(Debug, Default)]
+pub struct RegionMap {
+    known: HashMap<RegionId, NodeId>,
+}
+
+impl RegionMap {
+    /// Creates an empty cache.
+    pub fn new() -> Self {
+        RegionMap::default()
+    }
+
+    /// The cached owner of `region`, if this node has learned it.
+    pub fn lookup(&self, region: RegionId) -> Option<NodeId> {
+        self.known.get(&region).copied()
+    }
+
+    /// Records that `region` belongs to `owner`.
+    pub fn learn(&mut self, region: RegionId, owner: NodeId) {
+        self.known.insert(region, owner);
+    }
+
+    /// Number of regions this node knows about.
+    pub fn len(&self) -> usize {
+        self.known.len()
+    }
+
+    /// `true` if nothing has been learned yet.
+    pub fn is_empty(&self) -> bool {
+        self.known.is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn assignments_are_disjoint_and_ordered() {
+        let mut s = AddressSpaceServer::new();
+        let a = s.assign(NodeId(0));
+        let b = s.assign(NodeId(1));
+        let c = s.assign(NodeId(0));
+        assert_ne!(a, b);
+        assert_ne!(b, c);
+        assert!(a.base() < b.base() && b.base() < c.base());
+        assert_eq!(s.owner(a), Some(NodeId(0)));
+        assert_eq!(s.owner(b), Some(NodeId(1)));
+        assert_eq!(s.assigned(), 3);
+    }
+
+    #[test]
+    fn first_region_starts_at_heap_base() {
+        let mut s = AddressSpaceServer::new();
+        let r = s.assign(NodeId(2));
+        assert_eq!(r.base(), VAddr(HEAP_BASE));
+    }
+
+    #[test]
+    fn home_of_address_is_region_owner() {
+        let mut s = AddressSpaceServer::new();
+        let r = s.assign(NodeId(3));
+        assert_eq!(s.home_of(r.base().offset(1234)), Some(NodeId(3)));
+        assert_eq!(s.home_of(VAddr(HEAP_BASE + 10 * REGION_BYTES)), None);
+    }
+
+    #[test]
+    fn region_map_caches() {
+        let mut m = RegionMap::new();
+        assert!(m.is_empty());
+        assert_eq!(m.lookup(RegionId(7)), None);
+        m.learn(RegionId(7), NodeId(4));
+        assert_eq!(m.lookup(RegionId(7)), Some(NodeId(4)));
+        assert_eq!(m.len(), 1);
+    }
+}

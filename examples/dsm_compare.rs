@@ -1,0 +1,111 @@
+//! Objects vs pages side by side (paper, section 4): the same false-sharing
+//! and large-record workloads through the Amber object space and through
+//! the Ivy-style page DSM.
+//!
+//! Run with: `cargo run --release --example dsm_compare`
+
+use amber_core::{Cluster, NodeId};
+use amber_dsm::Dsm;
+
+fn main() {
+    // A 64 KB record on node 1, read wholesale from node 0.
+    println!("== one 64KB record, read remotely in full ==");
+    {
+        let c = Cluster::sim(2, 1);
+        c.run(|ctx| {
+            let record = ctx.create_on(NodeId(1), vec![7u8; 64 * 1024]);
+            let anchor = ctx.create(0u8);
+            let (m0, b0) = ctx.net_totals();
+            let t0 = ctx.now();
+            let sum = ctx.invoke(&anchor, |ctx, _| {
+                ctx.invoke_shared(&record, |_, r| r.iter().map(|x| *x as u64).sum::<u64>())
+            });
+            let (m1, b1) = ctx.net_totals();
+            println!(
+                "amber: one shipped invocation  -> {} msgs, {:.1}KB, {} (sum {sum})",
+                m1 - m0,
+                (b1 - b0) as f64 / 1e3,
+                ctx.now() - t0
+            );
+        })
+        .unwrap();
+    }
+    {
+        let c = Cluster::sim(2, 1);
+        c.run(|ctx| {
+            let dsm = Dsm::new(ctx, 64, 1024);
+            let d = dsm.clone();
+            let init = ctx.create_on(NodeId(1), 0u8);
+            ctx.start(&init, move |ctx, _| d.write(ctx, 0, &vec![7u8; 64 * 1024]))
+                .join(ctx);
+            let (m0, b0) = ctx.net_totals();
+            let t0 = ctx.now();
+            let mut buf = vec![0u8; 64 * 1024];
+            dsm.read(ctx, 0, &mut buf);
+            let sum: u64 = buf.iter().map(|x| *x as u64).sum();
+            let (m1, b1) = ctx.net_totals();
+            println!(
+                "dsm:   one fault per page      -> {} msgs, {:.1}KB, {} (sum {sum})",
+                m1 - m0,
+                (b1 - b0) as f64 / 1e3,
+                ctx.now() - t0
+            );
+        })
+        .unwrap();
+    }
+
+    // False sharing: four per-node counters, 10 writes each.
+    println!("\n== four unrelated counters, written from four nodes ==");
+    {
+        let c = Cluster::sim(4, 1);
+        c.run(|ctx| {
+            let counters: Vec<_> = (0..4u16)
+                .map(|i| ctx.create_on(NodeId(i), 0u64))
+                .collect();
+            let anchors: Vec<_> = (0..4u16).map(|i| ctx.create_on(NodeId(i), 0u8)).collect();
+            let (m0, _) = ctx.net_totals();
+            let hs: Vec<_> = (0..4)
+                .map(|i| {
+                    let counter = counters[i];
+                    ctx.start(&anchors[i], move |ctx, _| {
+                        for _ in 0..10 {
+                            ctx.invoke(&counter, |_, n| *n += 1);
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join(ctx);
+            }
+            let (m1, _) = ctx.net_totals();
+            println!("amber: private objects         -> {} msgs for the updates", m1 - m0);
+        })
+        .unwrap();
+    }
+    {
+        let c = Cluster::sim(4, 1);
+        c.run(|ctx| {
+            let dsm = Dsm::new(ctx, 1, 1024);
+            let anchors: Vec<_> = (0..4u16).map(|i| ctx.create_on(NodeId(i), 0u8)).collect();
+            let (m0, _) = ctx.net_totals();
+            let hs: Vec<_> = (0..4)
+                .map(|i| {
+                    let d = dsm.clone();
+                    ctx.start(&anchors[i], move |ctx, _| {
+                        for _ in 0..10 {
+                            let a = i * 64;
+                            let v = d.read_u64(ctx, a);
+                            d.write_u64(ctx, a, v + 1);
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join(ctx);
+            }
+            let (m1, _) = ctx.net_totals();
+            println!("dsm:   one packed page         -> {} msgs (artificial sharing)", m1 - m0);
+        })
+        .unwrap();
+    }
+}

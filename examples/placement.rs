@@ -1,0 +1,51 @@
+//! Higher-level placement (paper, section 2.3: policy "best left to the
+//! program or higher-level object placement software"): scatter a
+//! distributed object array, map over it in parallel, then gather it for a
+//! communication-heavy phase and rebalance afterwards.
+//!
+//! Run with: `cargo run --example placement`
+
+use amber_core::{Cluster, NodeId, SimTime};
+use amber_placement::{ObjectArray, ProportionalToProcessors, RoundRobin};
+
+fn main() {
+    let cluster = Cluster::sim(4, 2);
+    cluster
+        .run(|ctx| {
+            let mut placer = ProportionalToProcessors::new();
+            let arr = ObjectArray::scatter(ctx, &mut placer, 12, |i| (i as u64) * 3);
+
+            let homes: Vec<_> = arr.refs().iter().map(|r| ctx.locate(r).index()).collect();
+            println!("scattered across nodes: {homes:?}");
+
+            let total = arr.reduce(
+                ctx,
+                |ctx, v, _| {
+                    ctx.work(SimTime::from_ms(1)); // per-element compute
+                    *v
+                },
+                0u64,
+                |a, r| a + r,
+            );
+            println!("parallel reduce -> {total}");
+
+            // A phase with heavy element-to-element traffic: gather first.
+            arr.gather_to(ctx, NodeId(0));
+            let (m0, _) = ctx.net_totals();
+            let pair_sum = arr.reduce(ctx, |_, v, _| *v, 0u64, |a, r| a + r);
+            let (m1, _) = ctx.net_totals();
+            println!(
+                "gathered phase: sum {pair_sum}, {} messages for 12 invocations",
+                m1 - m0
+            );
+
+            // Back to balanced placement for the next compute phase.
+            let mut rr = RoundRobin::new();
+            arr.rebalance(ctx, &mut rr);
+            println!(
+                "rebalanced: {:?}",
+                arr.refs().iter().map(|r| ctx.locate(r).index()).collect::<Vec<_>>()
+            );
+        })
+        .expect("placement example failed");
+}

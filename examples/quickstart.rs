@@ -1,0 +1,95 @@
+//! Quickstart: a tour of the Amber programming model (paper, section 2).
+//!
+//! Creates a simulated 4-node x 2-processor cluster, then exercises
+//! objects, location-independent invocation, threads, and the mobility
+//! primitives — printing what happens and what it cost.
+//!
+//! Run with: `cargo run --example quickstart`
+
+use amber_core::{AmberObject, Cluster, NodeId};
+use amber_engine::SimTime;
+
+/// A user-defined object type: private data plus operations (the closures
+/// passed to `invoke`).
+struct Sensor {
+    readings: Vec<f64>,
+}
+
+impl AmberObject for Sensor {
+    fn transfer_size(&self) -> usize {
+        std::mem::size_of::<Self>() + self.readings.len() * 8
+    }
+}
+
+fn main() {
+    let cluster = Cluster::sim(4, 2);
+
+    cluster
+        .run(|ctx| {
+            println!("== a uniform network-wide object space ==");
+            // Objects live on a node but are invocable from anywhere.
+            let local = ctx.create(Sensor { readings: vec![] });
+            let remote = ctx.create_on(NodeId(2), Sensor { readings: vec![] });
+            println!("local sensor at {}", ctx.locate(&local));
+            println!("remote sensor at {}", ctx.locate(&remote));
+
+            // Invoking the remote object ships this thread there (function
+            // shipping) — watch our node change during the operation.
+            println!("main thread on {}", ctx.node());
+            ctx.invoke(&remote, |ctx, s| {
+                s.readings.push(20.5);
+                println!("...executing the operation on {}", ctx.node());
+            });
+            println!("after a root-level invocation we stay at {}", ctx.node());
+
+            println!("\n== threads: Start and Join ==");
+            let workers: Vec<_> = (0..4)
+                .map(|i| {
+                    let target = ctx.create_on(NodeId(i), Sensor {
+                        readings: vec![i as f64],
+                    });
+                    ctx.start(&target, move |ctx, s| {
+                        ctx.work(SimTime::from_ms(2)); // some computation
+                        s.readings.iter().sum::<f64>() * 10.0
+                    })
+                })
+                .collect();
+            let results: Vec<f64> = workers.into_iter().map(|h| h.join(ctx)).collect();
+            println!("per-node results: {results:?}");
+
+            println!("\n== explicit mobility: MoveTo / Attach / immutable ==");
+            let log = ctx.create(Vec::<String>::new());
+            ctx.attach(&log, &remote); // co-located, moves together
+            ctx.move_to(&remote, NodeId(3));
+            println!(
+                "after MoveTo: sensor at {}, attached log at {}",
+                ctx.locate(&remote),
+                ctx.locate(&log)
+            );
+
+            let table = ctx.create(vec![1u64, 2, 3, 5, 8, 13]);
+            ctx.set_immutable(&table);
+            // Shared reads of an immutable object replicate it locally
+            // instead of shipping the reader.
+            let sum = ctx.invoke_shared(&table, |_, t| t.iter().sum::<u64>());
+            println!("replicated read of immutable table: sum = {sum}");
+
+            println!("\n== what it cost ==");
+            let p = ctx.protocol_stats();
+            println!(
+                "invocations: {} local, {} remote; thread migrations: {}; \
+                 object moves: {}; replications: {}",
+                p.local_invokes, p.remote_invokes, p.thread_migrations,
+                p.object_moves, p.replications
+            );
+        })
+        .expect("quickstart failed");
+
+    let net = cluster.net_stats();
+    println!(
+        "network: {} messages, {} bytes, virtual time {}",
+        net.total_msgs(),
+        net.total_bytes(),
+        cluster.now()
+    );
+}

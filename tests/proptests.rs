@@ -1,0 +1,216 @@
+//! Property-based tests on the reproduction's core invariants.
+
+use amber_core::{Cluster, NodeId, SimTime};
+use amber_dsm::Dsm;
+use amber_sync::Barrier;
+use amber_vspace::{AddressSpaceServer, NodeHeap, RegionId, VAddr, REGION_BYTES};
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// The never-split heap: live blocks are disjoint, sized at least as
+    /// requested, and freed blocks are reused whole.
+    #[test]
+    fn heap_blocks_never_overlap(ops in proptest::collection::vec(
+        (0usize..3, 1u64..4096), 1..120)
+    ) {
+        let mut server = AddressSpaceServer::new();
+        let mut heap = NodeHeap::new(NodeId(0));
+        heap.add_region(server.assign(NodeId(0)));
+        let mut live: Vec<(VAddr, u64, u64)> = Vec::new(); // (addr, req, got)
+        for (op, size) in ops {
+            match op {
+                0 | 1 => {
+                    let addr = loop {
+                        match heap.alloc(size) {
+                            Ok(a) => break a,
+                            Err(amber_vspace::HeapError::NeedRegion) => {
+                                heap.add_region(server.assign(NodeId(0)));
+                            }
+                            Err(e) => panic!("unexpected: {e}"),
+                        }
+                    };
+                    let got = heap.size_of(addr).expect("fresh block is live");
+                    prop_assert!(got >= size, "block smaller than requested");
+                    for (a, _, g) in &live {
+                        let disjoint =
+                            addr.raw() + got <= a.raw() || a.raw() + g <= addr.raw();
+                        prop_assert!(disjoint, "overlap: {addr} and {a}");
+                    }
+                    live.push((addr, size, got));
+                }
+                _ => {
+                    if let Some((a, _, _)) = live.pop() {
+                        heap.free(a).expect("freeing a live block");
+                    }
+                }
+            }
+        }
+        // Accounting agrees.
+        let total: u64 = live.iter().map(|(_, _, g)| *g).sum();
+        prop_assert_eq!(heap.live_bytes(), total);
+    }
+
+    /// Region assignments are disjoint and home lookups agree with the
+    /// server for any request pattern.
+    #[test]
+    fn region_assignment_is_consistent(nodes in proptest::collection::vec(0u16..8, 1..60)) {
+        let mut server = AddressSpaceServer::new();
+        let mut seen = std::collections::HashSet::new();
+        for n in nodes {
+            let r = server.assign(NodeId(n));
+            prop_assert!(seen.insert(r), "region assigned twice");
+            prop_assert_eq!(server.owner(r), Some(NodeId(n)));
+            let mid = VAddr(r.base().raw() + REGION_BYTES / 2);
+            prop_assert_eq!(server.home_of(mid), Some(NodeId(n)));
+            prop_assert_eq!(mid.region(), r);
+        }
+        prop_assert_eq!(server.owner(RegionId(3)), None); // below HEAP_BASE
+    }
+
+    /// Forwarding chains always converge: after an arbitrary move sequence,
+    /// every probe finds the object where the last move put it.
+    #[test]
+    fn forwarding_chains_converge(moves in proptest::collection::vec(0u16..4, 1..12)) {
+        let c = Cluster::sim(4, 1);
+        let last = *moves.last().unwrap();
+        c.run(move |ctx| {
+            let obj = ctx.create(0u32);
+            for m in &moves {
+                ctx.move_to(&obj, NodeId(*m));
+            }
+            assert_eq!(ctx.locate(&obj), NodeId(last));
+            // An invocation from the boot node also lands there.
+            let at = ctx.invoke(&obj, |ctx, _| ctx.node());
+            assert_eq!(at, NodeId(last));
+        })
+        .unwrap();
+    }
+
+    /// The barrier never releases early and always releases everyone, for
+    /// any parties count and any stagger pattern.
+    #[test]
+    fn barrier_releases_exactly_together(
+        parties in 1usize..7,
+        staggers in proptest::collection::vec(0u64..5_000, 6),
+    ) {
+        let c = Cluster::sim(2, 2);
+        c.run(move |ctx| {
+            let bar = Barrier::new(ctx, parties);
+            let arrived = ctx.create(0usize);
+            let hs: Vec<_> = (0..parties)
+                .map(|i| {
+                    let a = ctx.create_on(NodeId((i % 2) as u16), 0u8);
+                    let stagger = staggers[i % staggers.len()];
+                    ctx.start(&a, move |ctx, _| {
+                        ctx.work(SimTime::from_us(stagger));
+                        ctx.invoke(&arrived, |_, n| *n += 1);
+                        bar.wait(ctx);
+                        // Everyone must have arrived by the time anyone passes.
+                        let n = ctx.invoke_shared(&arrived, |_, n| *n);
+                        assert_eq!(n, parties, "barrier released early");
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join(ctx);
+            }
+        })
+        .unwrap();
+    }
+
+    /// DSM equals a reference flat memory under arbitrary single-threaded
+    /// read/write sequences issued from alternating nodes.
+    #[test]
+    fn dsm_matches_reference_memory(
+        ops in proptest::collection::vec((0usize..2, 0usize..31, 0u64..1000), 1..40)
+    ) {
+        let c = Cluster::sim(3, 1);
+        c.run(move |ctx| {
+            let dsm = Dsm::new(ctx, 4, 64); // 256 bytes = 32 u64 slots
+            let mut reference = vec![0u64; 32];
+            for (i, (op, slot, val)) in ops.iter().enumerate() {
+                let node = NodeId((i % 3) as u16);
+                let d = dsm.clone();
+                let (op, slot, val) = (*op, *slot, *val);
+                let a = ctx.create_on(node, 0u8);
+                let observed = ctx.start(&a, move |ctx, _| {
+                    if op == 0 {
+                        d.write_u64(ctx, slot * 8, val);
+                        None
+                    } else {
+                        Some(d.read_u64(ctx, slot * 8))
+                    }
+                }).join(ctx);
+                match observed {
+                    None => reference[slot] = val,
+                    Some(seen) => assert_eq!(
+                        seen, reference[slot],
+                        "node {node} read stale data at slot {slot}"
+                    ),
+                }
+            }
+        })
+        .unwrap();
+    }
+
+    /// Attachment groups always co-locate, whatever the build order and
+    /// wherever the root moves.
+    #[test]
+    fn attachment_groups_colocate(
+        children in 1usize..5,
+        dest in 0u16..4,
+    ) {
+        let c = Cluster::sim(4, 1);
+        c.run(move |ctx| {
+            let root = ctx.create(0u32);
+            let kids: Vec<_> = (0..children)
+                .map(|i| {
+                    let k = ctx.create_on(NodeId((i % 4) as u16), i as u64);
+                    ctx.attach(&k, &root);
+                    k
+                })
+                .collect();
+            ctx.move_to(&root, NodeId(dest));
+            let root_at = ctx.locate(&root);
+            assert_eq!(root_at, NodeId(dest));
+            for k in &kids {
+                assert_eq!(ctx.locate(k), root_at, "attached child strayed");
+            }
+        })
+        .unwrap();
+    }
+}
+
+/// Virtual-time determinism across identical runs with mixed primitives,
+/// for several cluster shapes (plain test; proptest closures must be Fn
+/// while cluster programs want FnOnce captures).
+#[test]
+fn deterministic_across_cluster_shapes() {
+    for (nodes, procs) in [(1usize, 1usize), (2, 2), (4, 1), (3, 4)] {
+        let once = || {
+            let c = Cluster::sim(nodes, procs);
+            let v = c
+                .run(move |ctx| {
+                    let obj = ctx.create(0u64);
+                    let hs: Vec<_> = (0..nodes * 2)
+                        .map(|i| {
+                            let a = ctx.create_on(NodeId((i % nodes) as u16), 0u8);
+                            ctx.start(&a, move |ctx, _| {
+                                ctx.work(SimTime::from_us(100 * (i as u64 + 1)));
+                                ctx.invoke(&obj, |_, n| *n += 1);
+                            })
+                        })
+                        .collect();
+                    for h in hs {
+                        h.join(ctx);
+                    }
+                    ctx.invoke(&obj, |_, n| *n)
+                })
+                .unwrap();
+            (v, c.now(), c.net_stats().total_msgs())
+        };
+        assert_eq!(once(), once(), "{nodes}x{procs} not deterministic");
+    }
+}

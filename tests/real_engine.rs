@@ -1,0 +1,125 @@
+//! Real-threaded engine integration: the same programs that run under the
+//! simulator execute on genuine OS-thread concurrency, with real (sleeping)
+//! network delays. These tests keep latencies small so the suite stays
+//! fast; they are about concurrency soundness, not timing.
+
+use std::time::Duration;
+
+use amber_core::{Cluster, EngineChoice, LatencyModel, NodeId, SimTime};
+use amber_sync::{Barrier, Lock};
+
+fn real_cluster(nodes: usize, procs: usize) -> Cluster {
+    Cluster::builder()
+        .nodes(nodes)
+        .processors(procs)
+        .engine(EngineChoice::Real)
+        .latency(LatencyModel::fixed(SimTime::from_us(300)))
+        .deadline(Duration::from_secs(60))
+        .build()
+}
+
+#[test]
+fn objects_threads_and_mobility_under_real_concurrency() {
+    let c = real_cluster(3, 2);
+    let total = c
+        .run(|ctx| {
+            let counter = ctx.create(0u64);
+            let hs: Vec<_> = (0..6u16)
+                .map(|i| {
+                    let a = ctx.create_on(NodeId(i % 3), 0u8);
+                    ctx.start(&a, move |ctx, _| {
+                        for _ in 0..20 {
+                            ctx.invoke(&counter, |_, n| *n += 1);
+                        }
+                    })
+                })
+                .collect();
+            // Move the contended object around while the storm runs.
+            for r in 0..3u16 {
+                ctx.move_to(&counter, NodeId(r));
+            }
+            for h in hs {
+                h.join(ctx);
+            }
+            ctx.invoke(&counter, |_, n| *n)
+        })
+        .unwrap();
+    assert_eq!(total, 120);
+}
+
+#[test]
+fn locks_exclude_on_real_threads() {
+    let c = real_cluster(2, 2);
+    let (total, violations) = c
+        .run(|ctx| {
+            let lock = Lock::new(ctx);
+            let state = ctx.create((0u64, 0u64)); // (counter, violations)
+            let in_cs = ctx.create(false);
+            let hs: Vec<_> = (0..4u16)
+                .map(|i| {
+                    let a = ctx.create_on(NodeId(i % 2), 0u8);
+                    ctx.start(&a, move |ctx, _| {
+                        for _ in 0..10 {
+                            lock.acquire(ctx);
+                            let busy = ctx.invoke(&in_cs, |_, b| std::mem::replace(b, true));
+                            if busy {
+                                ctx.invoke(&state, |_, s| s.1 += 1);
+                            }
+                            ctx.invoke(&state, |_, s| s.0 += 1);
+                            ctx.invoke(&in_cs, |_, b| *b = false);
+                            lock.release(ctx);
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join(ctx);
+            }
+            ctx.invoke(&state, |_, s| *s)
+        })
+        .unwrap();
+    assert_eq!(total, 40);
+    assert_eq!(violations, 0, "mutual exclusion violated on real threads");
+}
+
+#[test]
+fn barrier_rendezvous_on_real_threads() {
+    let c = real_cluster(2, 2);
+    c.run(|ctx| {
+        let bar = Barrier::new(ctx, 4);
+        let arrived = ctx.create(0usize);
+        let hs: Vec<_> = (0..4u16)
+            .map(|i| {
+                let a = ctx.create_on(NodeId(i % 2), 0u8);
+                ctx.start(&a, move |ctx, _| {
+                    for _ in 0..3 {
+                        ctx.invoke(&arrived, |_, n| *n += 1);
+                        bar.wait(ctx);
+                        let n = ctx.invoke_shared(&arrived, |_, n| *n);
+                        assert!(n % 4 == 0 || n >= 4, "released early at {n}");
+                        bar.wait(ctx);
+                    }
+                })
+            })
+            .collect();
+        for h in hs {
+            h.join(ctx);
+        }
+    })
+    .unwrap();
+}
+
+#[test]
+fn timeout_fires_on_a_hung_program() {
+    let c = Cluster::builder()
+        .nodes(1)
+        .processors(2)
+        .engine(EngineChoice::Real)
+        .latency(LatencyModel::zero())
+        .deadline(Duration::from_millis(200))
+        .build();
+    let err = c
+        .run(|ctx| ctx.park("never-woken"))
+        .unwrap_err();
+    assert_eq!(err, amber_core::EngineError::Timeout);
+}
