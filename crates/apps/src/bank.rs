@@ -79,8 +79,13 @@ pub struct BankResult {
 /// Runs tellers hammering random transfers under the mobile transfer lock,
 /// then audits the invariant.
 pub fn run_bank(p: BankParams) -> BankResult {
-    let cluster = Cluster::builder().nodes(p.nodes).processors(p.procs).build();
-    cluster.run(move |ctx| bank_main(ctx, p)).expect("bank run failed")
+    let cluster = Cluster::builder()
+        .nodes(p.nodes)
+        .processors(p.procs)
+        .build();
+    cluster
+        .run(move |ctx| bank_main(ctx, p))
+        .expect("bank run failed")
 }
 
 fn bank_main(ctx: &Ctx, p: BankParams) -> BankResult {
@@ -89,7 +94,9 @@ fn bank_main(ctx: &Ctx, p: BankParams) -> BankResult {
         .map(|i| ctx.create_on(NodeId::from(i % p.nodes), Account { balance: p.initial }))
         .collect();
     let lock = Lock::new(ctx);
-    let log = ctx.create(AuditLog { entries: Vec::new() });
+    let log = ctx.create(AuditLog {
+        entries: Vec::new(),
+    });
     ctx.attach(&log, &lock.object());
 
     let t0 = ctx.now();
@@ -113,8 +120,7 @@ fn bank_main(ctx: &Ctx, p: BankParams) -> BankResult {
                 // Multi-object constraint: both debits and credits commit
                 // under the transfer lock, wherever the accounts live.
                 lock.with(ctx, |ctx| {
-                    let available =
-                        ctx.invoke_shared(&accounts[from], |_, a| a.balance >= amount);
+                    let available = ctx.invoke_shared(&accounts[from], |_, a| a.balance >= amount);
                     if available {
                         ctx.invoke(&accounts[from], |_, a| a.balance -= amount);
                         ctx.invoke(&accounts[to], |_, a| a.balance += amount);
@@ -165,7 +171,9 @@ mod tests {
         let c = Cluster::sim(2, 1);
         c.run(|ctx| {
             let lock = Lock::new(ctx);
-            let log = ctx.create(AuditLog { entries: Vec::new() });
+            let log = ctx.create(AuditLog {
+                entries: Vec::new(),
+            });
             ctx.attach(&log, &lock.object());
             rehome_coordination(ctx, &lock, NodeId(1));
             assert_eq!(ctx.locate(&lock.object()), NodeId(1));

@@ -117,7 +117,10 @@ pub struct MatmulResult {
 /// Multiplies two seeded matrices on a fresh cluster and checks the result
 /// against a sequential multiply.
 pub fn run_matmul(p: MatmulParams) -> MatmulResult {
-    let cluster = Cluster::builder().nodes(p.nodes).processors(p.procs).build();
+    let cluster = Cluster::builder()
+        .nodes(p.nodes)
+        .processors(p.procs)
+        .build();
     cluster
         .run(move |ctx| matmul_main(ctx, p))
         .expect("matmul run failed")
@@ -128,7 +131,10 @@ pub fn run_matmul(p: MatmulParams) -> MatmulResult {
 /// band of `A` rows and a band of `B` columns across its result blocks —
 /// the reuse that makes replication pay for itself.
 fn owner(p: &MatmulParams, i: usize, j: usize) -> NodeId {
-    let r_bands = (1..=p.nodes).rev().find(|r| p.nodes % r == 0 && r * r <= p.nodes).unwrap_or(1);
+    let r_bands = (1..=p.nodes)
+        .rev()
+        .find(|r| p.nodes.is_multiple_of(*r) && r * r <= p.nodes)
+        .unwrap_or(1);
     let c_bands = p.nodes / r_bands;
     let band_i = (i * r_bands / p.grid).min(r_bands - 1);
     let band_j = (j * c_bands / p.grid).min(c_bands - 1);
@@ -204,7 +210,9 @@ fn matmul_main(ctx: &Ctx, p: MatmulParams) -> MatmulResult {
 /// Sequential reference multiply with the same seeded inputs.
 pub fn matmul_sequential(p: &MatmulParams) -> f64 {
     let g = p.grid;
-    let a: Vec<Block> = (0..g * g).map(|t| Block::seeded(p.block, t as u64)).collect();
+    let a: Vec<Block> = (0..g * g)
+        .map(|t| Block::seeded(p.block, t as u64))
+        .collect();
     let b: Vec<Block> = (0..g * g)
         .map(|t| Block::seeded(p.block, 1000 + t as u64))
         .collect();

@@ -64,7 +64,7 @@ impl Color {
     }
 
     fn of_phase(phase: usize) -> Color {
-        if phase % 2 == 0 {
+        if phase.is_multiple_of(2) {
             Color::Black
         } else {
             Color::Red
@@ -186,6 +186,9 @@ pub struct SorResult {
 // Section object
 // ---------------------------------------------------------------------------
 
+/// Queued edge exchanges: `(phase, edge values)` per side.
+type EdgeQueue = std::collections::VecDeque<(usize, Vec<f64>)>;
+
 /// One horizontal slice of the grid, an Amber object.
 ///
 /// Cell storage is `AtomicU64`-bitcast `f64` so worker threads can update
@@ -208,7 +211,7 @@ pub struct Section {
     /// threads to ship: `(phase, colour values)` per side. Copying at
     /// signal time double-buffers the exchange, so workers never wait for
     /// the edge thread's return trip.
-    outbox: [Mutex<std::collections::VecDeque<(usize, Vec<f64>)>>; 2],
+    outbox: [Mutex<EdgeQueue>; 2],
     /// Iterations whose continue/stop decision has been published.
     decision_ver: AtomicU64,
     /// Iteration at which the program stops (0 = undecided).
@@ -240,7 +243,11 @@ impl Section {
                 // Ghost rows take the neighbour's initial edge values; rows
                 // outside the grid (beyond the plate) are never read.
                 let gr = (first_row + lr).wrapping_sub(1);
-                let v = if gr < p.rows { p.init_value(gr, c) } else { 0.0 };
+                let v = if gr < p.rows {
+                    p.init_value(gr, c)
+                } else {
+                    0.0
+                };
                 cells.push(AtomicU64::new(v.to_bits()));
             }
         }
@@ -293,8 +300,10 @@ impl Section {
         let mut c = 1 + ((gr + 1 + color.parity()) % 2);
         while c < self.cols - 1 {
             let old = self.get(lr, c);
-            let sum =
-                self.get(lr - 1, c) + self.get(lr + 1, c) + self.get(lr, c - 1) + self.get(lr, c + 1);
+            let sum = self.get(lr - 1, c)
+                + self.get(lr + 1, c)
+                + self.get(lr, c - 1)
+                + self.get(lr, c + 1);
             let new = (1.0 - omega) * old + omega * 0.25 * sum;
             self.set(lr, c, new);
             maxd = maxd.max((new - old).abs());
@@ -308,7 +317,14 @@ impl Section {
     /// `[c0, c1)`. Returns (points updated, max |delta|). Used to split the
     /// boundary rows across all workers so the pre-exchange step is as
     /// parallel as the interior.
-    fn relax_row_cols(&self, lr: usize, color: Color, omega: f64, c0: usize, c1: usize) -> (usize, f64) {
+    fn relax_row_cols(
+        &self,
+        lr: usize,
+        color: Color,
+        omega: f64,
+        c0: usize,
+        c1: usize,
+    ) -> (usize, f64) {
         let gr = self.first_row + lr - 1;
         if gr == 0 || gr == self.total_rows - 1 {
             return (0, 0.0);
@@ -323,8 +339,10 @@ impl Section {
         let mut c = lo + ((gr + lo + color.parity()) % 2);
         while c < hi {
             let old = self.get(lr, c);
-            let sum =
-                self.get(lr - 1, c) + self.get(lr + 1, c) + self.get(lr, c - 1) + self.get(lr, c + 1);
+            let sum = self.get(lr - 1, c)
+                + self.get(lr + 1, c)
+                + self.get(lr, c - 1)
+                + self.get(lr, c + 1);
             let new = (1.0 - omega) * old + omega * 0.25 * sum;
             self.set(lr, c, new);
             maxd = maxd.max((new - old).abs());
@@ -479,20 +497,42 @@ pub fn run_amber_sor_traced(p: SorParams) -> SorResult {
 /// Runs the Amber SOR program on a fresh simulated cluster and reports the
 /// solve time, residual and communication totals.
 pub fn run_amber_sor(p: SorParams) -> SorResult {
-    assert!(p.sections >= 1 && p.rows >= p.sections, "degenerate partition");
-    let cluster = Cluster::builder().nodes(p.nodes).processors(p.procs).build();
+    run_sor_inner(p, false).0
+}
+
+/// Like [`run_amber_sor`] but also captures the protocol event trace of the
+/// whole run (via [`Cluster::enable_tracing`]), for dumping as a
+/// Chrome-trace/Perfetto file or reconciling against the protocol counters.
+pub fn run_amber_sor_capture(p: SorParams) -> (SorResult, Vec<amber_core::TraceRecord>) {
+    run_sor_inner(p, true)
+}
+
+fn run_sor_inner(p: SorParams, capture: bool) -> (SorResult, Vec<amber_core::TraceRecord>) {
+    assert!(
+        p.sections >= 1 && p.rows >= p.sections,
+        "degenerate partition"
+    );
+    let cluster = Cluster::builder()
+        .nodes(p.nodes)
+        .processors(p.procs)
+        .build();
+    let sink = capture.then(|| cluster.enable_tracing());
     let outcome = cluster
         .run(move |ctx| sor_main(ctx, p))
         .expect("SOR run failed");
     let net = cluster.net_stats();
-    SorResult {
-        elapsed: outcome.elapsed,
-        iterations: outcome.iterations,
-        checksum: outcome.checksum,
-        max_delta: outcome.max_delta,
-        msgs: net.total_msgs(),
-        bytes: net.total_bytes(),
-    }
+    let events = sink.map(|s| s.take()).unwrap_or_default();
+    (
+        SorResult {
+            elapsed: outcome.elapsed,
+            iterations: outcome.iterations,
+            checksum: outcome.checksum,
+            max_delta: outcome.max_delta,
+            msgs: net.total_msgs(),
+            bytes: net.total_bytes(),
+        },
+        events,
+    )
 }
 
 /// What `sor_main` hands back to the harness.
@@ -643,8 +683,8 @@ fn worker_loop(
     let half_cols = (cols.saturating_sub(2)) as f64 / 2.0;
     let total_pts = (nrows as f64) * half_cols;
     let target = total_pts / workers as f64;
-    let my_boundary_pts = half_cols
-        * ((owns_top as usize as f64) + ((owns_bottom && nrows > 1) as usize as f64));
+    let my_boundary_pts =
+        half_cols * ((owns_top as usize as f64) + ((owns_bottom && nrows > 1) as usize as f64));
     let (icol0, icol1) = {
         // Cumulative column assignment in points.
         let pts_per_col = interior_rows as f64 / 2.0;
@@ -652,8 +692,11 @@ fn worker_loop(
         for prev in 0..w {
             let prev_boundary = half_cols
                 * (((prev == 0) as usize as f64)
-                    + (((if nrows > 1 { prev == workers - 1 } else { prev == 0 })
-                        && nrows > 1) as usize as f64));
+                    + (((if nrows > 1 {
+                        prev == workers - 1
+                    } else {
+                        prev == 0
+                    }) && nrows > 1) as usize as f64));
             start_pts += (target - prev_boundary).max(0.0);
         }
         let my_pts = (target - my_boundary_pts).max(0.0);
@@ -662,7 +705,11 @@ fn worker_loop(
         } else {
             let c0 = 1 + (start_pts / pts_per_col).round() as usize;
             let c1 = 1 + ((start_pts + my_pts) / pts_per_col).round() as usize;
-            let c1 = if w == workers - 1 { cols - 1 } else { c1.min(cols - 1) };
+            let c1 = if w == workers - 1 {
+                cols - 1
+            } else {
+                c1.min(cols - 1)
+            };
             (c0.min(cols - 1), c1)
         }
     };
@@ -694,7 +741,14 @@ fn worker_loop(
                 )
             };
             if !p.overlap {
-                trace!(ctx, "w{} s{:x} iter{} {:?} wait-ghosts", w, sec.addr().raw() & 0xffff, iter, color);
+                trace!(
+                    ctx,
+                    "w{} s{:x} iter{} {:?} wait-ghosts",
+                    w,
+                    sec.addr().raw() & 0xffff,
+                    iter,
+                    color
+                );
                 if need_top {
                     wait_on(ctx, &sec, WaiterList::Ghost, move |s| {
                         s.ghost_ver[0][opp.index()].load(Ordering::SeqCst) >= need_opp
@@ -705,7 +759,14 @@ fn worker_loop(
                         s.ghost_ver[1][opp.index()].load(Ordering::SeqCst) >= need_opp
                     });
                 }
-                trace!(ctx, "w{} s{:x} iter{} {:?} ghosts-ready", w, sec.addr().raw() & 0xffff, iter, color);
+                trace!(
+                    ctx,
+                    "w{} s{:x} iter{} {:?} ghosts-ready",
+                    w,
+                    sec.addr().raw() & 0xffff,
+                    iter,
+                    color
+                );
             }
 
             if p.overlap {
@@ -772,8 +833,9 @@ fn worker_loop(
                 // monolithic burst — the role timeslicing plays on a real
                 // multiprocessor node.
                 for lr in 2..nrows.max(2) {
-                    let (n, dx) = ctx
-                        .invoke_shared(&sec, |_, s| s.relax_row_cols(lr, color, omega, icol0, icol1));
+                    let (n, dx) = ctx.invoke_shared(&sec, |_, s| {
+                        s.relax_row_cols(lr, color, omega, icol0, icol1)
+                    });
                     ctx.work(point_cost * n as u64);
                     delta = delta.max(dx);
                 }
@@ -789,7 +851,14 @@ fn worker_loop(
                     let mut dl = s.delta[iter % 4].lock();
                     *dl = dl.max(delta);
                 });
-                trace!(ctx, "w{} s{:x} iter{} {:?} interior-done", w, sec.addr().raw() & 0xffff, iter, color);
+                trace!(
+                    ctx,
+                    "w{} s{:x} iter{} {:?} interior-done",
+                    w,
+                    sec.addr().raw() & 0xffff,
+                    iter,
+                    color
+                );
                 lb.wait(ctx);
             } else {
                 // No overlap: compute the whole phase (row stripes), then
@@ -833,11 +902,23 @@ fn worker_loop(
         } else {
             (iter + 1).saturating_sub(CONV_LAG) as u64
         };
-        trace!(ctx, "w{} s{:x} iter{} wait-decision", w, sec.addr().raw() & 0xffff, iter);
+        trace!(
+            ctx,
+            "w{} s{:x} iter{} wait-decision",
+            w,
+            sec.addr().raw() & 0xffff,
+            iter
+        );
         wait_on(ctx, &sec, WaiterList::Decision, move |s| {
             s.decision_ver.load(Ordering::SeqCst) >= need
         });
-        trace!(ctx, "w{} s{:x} iter{} decision-in", w, sec.addr().raw() & 0xffff, iter);
+        trace!(
+            ctx,
+            "w{} s{:x} iter{} decision-in",
+            w,
+            sec.addr().raw() & 0xffff,
+            iter
+        );
         let stop_at = ctx.invoke_shared(&sec, |_, s| s.stop_at.load(Ordering::SeqCst));
         iter += 1;
         if stop_at != 0 && iter as u64 >= stop_at {
@@ -859,7 +940,13 @@ fn edge_loop(ctx: &Ctx, sec: ObjRef<Section>, neighbour: ObjRef<Section>, side: 
             return;
         };
         let color = Color::of_phase(phase);
-        trace!(ctx, "edge s{:x} side{} ph{} ship", sec.addr().raw() & 0xffff, side, phase);
+        trace!(
+            ctx,
+            "edge s{:x} side{} ph{} ship",
+            sec.addr().raw() & 0xffff,
+            side,
+            phase
+        );
         // One carrying invocation ships the whole edge to the neighbour:
         // "the values for an entire edge of a section [are] transferred in
         // a single invocation" (section 6).
@@ -878,7 +965,13 @@ fn edge_loop(ctx: &Ctx, sec: ObjRef<Section>, neighbour: ObjRef<Section>, side: 
         for t in to_wake {
             ctx.unpark(t);
         }
-        trace!(ctx, "edge s{:x} side{} ph{} done", sec.addr().raw() & 0xffff, side, phase);
+        trace!(
+            ctx,
+            "edge s{:x} side{} ph{} done",
+            sec.addr().raw() & 0xffff,
+            side,
+            phase
+        );
     }
 }
 
@@ -896,7 +989,12 @@ fn convergence_loop(ctx: &Ctx, sec: ObjRef<Section>, master: ObjRef<Master>) {
             *d = 0.0;
             v
         });
-        trace!(ctx, "conv s{:x} iter{} report", sec.addr().raw() & 0xffff, iter);
+        trace!(
+            ctx,
+            "conv s{:x} iter{} report",
+            sec.addr().raw() & 0xffff,
+            iter
+        );
         // Report to the master (ships this thread to the master's node) and
         // wake every convergence thread parked on this iteration's decision.
         let to_wake = ctx.invoke(&master, move |_, m| {
@@ -904,7 +1002,10 @@ fn convergence_loop(ctx: &Ctx, sec: ObjRef<Section>, master: ObjRef<Master>) {
             entry.0 += 1;
             entry.1 = entry.1.max(delta);
             if TRACE.load(Ordering::Relaxed) {
-                eprintln!("    [report] iter={} count={}/{} decided_before={}", iter, entry.0, m.sections, m.decided);
+                eprintln!(
+                    "    [report] iter={} count={}/{} decided_before={}",
+                    iter, entry.0, m.sections, m.decided
+                );
             }
             if entry.0 == m.sections {
                 // Sections report their iterations in order, so tallies
@@ -936,7 +1037,7 @@ fn convergence_loop(ctx: &Ctx, sec: ObjRef<Section>, master: ObjRef<Master>) {
         // been decided (we are at the master's node now, so this is local).
         loop {
             let decided = ctx.invoke(&master, move |_, m| {
-                if m.decided >= iter as u64 + 1 {
+                if m.decided > iter as u64 {
                     true
                 } else {
                     if !m.waiters.contains(&me) {
@@ -946,14 +1047,31 @@ fn convergence_loop(ctx: &Ctx, sec: ObjRef<Section>, master: ObjRef<Master>) {
                 }
             });
             let dbg = ctx.invoke_shared(&master, |_, m| m.decided);
-            trace!(ctx, "conv s{:x} iter{} check decided={} m.decided={}", sec.addr().raw() & 0xffff, iter, decided, dbg);
+            trace!(
+                ctx,
+                "conv s{:x} iter{} check decided={} m.decided={}",
+                sec.addr().raw() & 0xffff,
+                iter,
+                decided,
+                dbg
+            );
             if decided {
                 break;
             }
             ctx.park("conv-decision-wait");
-            trace!(ctx, "conv s{:x} iter{} woke", sec.addr().raw() & 0xffff, iter);
+            trace!(
+                ctx,
+                "conv s{:x} iter{} woke",
+                sec.addr().raw() & 0xffff,
+                iter
+            );
         }
-        trace!(ctx, "conv s{:x} iter{} decided", sec.addr().raw() & 0xffff, iter);
+        trace!(
+            ctx,
+            "conv s{:x} iter{} decided",
+            sec.addr().raw() & 0xffff,
+            iter
+        );
         let stop_at = ctx.invoke_shared(&master, |_, m| m.stop_at);
         // Publish the decision back at the section (ships home).
         let stopping = stop_at == Some(iter + 1);
@@ -1142,7 +1260,10 @@ mod tests {
         let r1 = run_amber_sor(p1);
         let r4 = run_amber_sor(p4);
         let speedup = r1.elapsed.as_secs_f64() / r4.elapsed.as_secs_f64();
-        assert!(speedup < 2.0, "a 24x32 grid should not scale, got {speedup:.2}");
+        assert!(
+            speedup < 2.0,
+            "a 24x32 grid should not scale, got {speedup:.2}"
+        );
     }
 
     #[test]
@@ -1166,7 +1287,10 @@ mod deadlock_debug {
     #[ignore]
     fn dump_deadlock_state() {
         let p = SorParams::small(2, 1);
-        let cluster = Cluster::builder().nodes(p.nodes).processors(p.procs).build();
+        let cluster = Cluster::builder()
+            .nodes(p.nodes)
+            .processors(p.procs)
+            .build();
         let r = cluster.run(move |ctx| sor_main(ctx, p));
         match &r {
             Ok(o) => eprintln!("run ok: iters={}", o.iterations),

@@ -40,7 +40,10 @@ pub fn run_dsm_sor(p: SorParams) -> SorResult {
 /// boundaries to reduce this artificial sharing"). Only true sharing (the
 /// band-edge rows) then faults.
 pub fn run_dsm_sor_layout(p: SorParams, padded: bool) -> SorResult {
-    let cluster = Cluster::builder().nodes(p.nodes).processors(p.procs).build();
+    let cluster = Cluster::builder()
+        .nodes(p.nodes)
+        .processors(p.procs)
+        .build();
     cluster
         .run(move |ctx| dsm_sor_main(ctx, p, padded))
         .expect("DSM SOR run failed")
@@ -136,9 +139,8 @@ fn dsm_sor_main(ctx: &Ctx, p: SorParams, padded: bool) -> SorResult {
                 // Convergence: lowest-index worker aggregates.
                 ctx.invoke(&deltas, move |_, v| v[w] = maxd);
                 if barrier.wait(ctx) {
-                    let global = ctx.invoke(&deltas, |_, v| {
-                        v.iter().cloned().fold(0.0f64, f64::max)
-                    });
+                    let global =
+                        ctx.invoke(&deltas, |_, v| v.iter().cloned().fold(0.0f64, f64::max));
                     let out_of_iters = iter + 1 >= p.max_iters;
                     if global < p.epsilon || out_of_iters {
                         ctx.invoke(&stop_flag, move |_, s| *s = iter + 1);

@@ -150,8 +150,13 @@ pub fn tsp_sequential(p: &TspParams) -> u32 {
 /// Distributed branch-and-bound: the tours starting `0 -> k` are dealt to
 /// workers round-robin across nodes; the bound lives in a shared object.
 pub fn run_tsp(p: TspParams) -> TspResult {
-    let cluster = Cluster::builder().nodes(p.nodes).processors(p.procs).build();
-    cluster.run(move |ctx| tsp_main(ctx, p)).expect("tsp run failed")
+    let cluster = Cluster::builder()
+        .nodes(p.nodes)
+        .processors(p.procs)
+        .build();
+    cluster
+        .run(move |ctx| tsp_main(ctx, p))
+        .expect("tsp run failed")
 }
 
 fn tsp_main(ctx: &Ctx, p: TspParams) -> TspResult {
@@ -244,7 +249,17 @@ fn search(
         if !visited[next] {
             visited[next] = true;
             path.push(next);
-            search(ctx, c, bound, visited, path, len + c.d(last, next), local_best, since_sync, p);
+            search(
+                ctx,
+                c,
+                bound,
+                visited,
+                path,
+                len + c.d(last, next),
+                local_best,
+                since_sync,
+                p,
+            );
             path.pop();
             visited[next] = false;
         }
@@ -271,7 +286,10 @@ mod tests {
         lazy.cities = 8;
         let r_hot = run_tsp(hot);
         let r_lazy = run_tsp(lazy);
-        assert_eq!(r_hot.best, r_lazy.best, "pruning must not change the optimum");
+        assert_eq!(
+            r_hot.best, r_lazy.best,
+            "pruning must not change the optimum"
+        );
         assert!(
             r_hot.msgs > 5 * r_lazy.msgs,
             "hot bound {} msgs vs lazy {} msgs",

@@ -14,20 +14,18 @@ use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
 /// Virtual time of the first locate through a chain of `len` hops.
 fn locate_chain_cold(len: usize) -> Duration {
     let c = Cluster::sim(len + 2, 1);
-    let d = c
-        .run(move |ctx| {
-            let obj = ctx.create(0u32);
-            for hop in 1..=len {
-                ctx.move_to(&obj, NodeId(hop as u16));
-            }
-            // A probe from the last node of the chain would be direct; probe
-            // from an uninvolved node so the chain is walked in full.
-            let t0 = ctx.now();
-            ctx.locate(&obj);
-            (ctx.now() - t0).to_duration()
-        })
-        .unwrap();
-    d
+    c.run(move |ctx| {
+        let obj = ctx.create(0u32);
+        for hop in 1..=len {
+            ctx.move_to(&obj, NodeId(hop as u16));
+        }
+        // A probe from the last node of the chain would be direct; probe
+        // from an uninvolved node so the chain is walked in full.
+        let t0 = ctx.now();
+        ctx.locate(&obj);
+        (ctx.now() - t0).to_duration()
+    })
+    .unwrap()
 }
 
 /// Virtual time of a locate after a previous probe cached the location.

@@ -136,10 +136,10 @@ pub fn lock_dsm(nodes: usize, rounds: usize) -> AblationRow {
                     ctx.start(&anchor, move |ctx, _| {
                         for _ in 0..rounds {
                             ctx.work(SimTime::from_us(200)); // think, at home
-                            // Spin on the lock byte at address 0. The poll
-                            // charge matters twice over: spinning burns real
-                            // CPU, and a zero-cost yield loop would pin the
-                            // virtual clock (nothing else could ever run).
+                                                             // Spin on the lock byte at address 0. The poll
+                                                             // charge matters twice over: spinning burns real
+                                                             // CPU, and a zero-cost yield loop would pin the
+                                                             // virtual clock (nothing else could ever run).
                             while d.test_and_set(ctx, 0) != 0 {
                                 ctx.work(SimTime::from_us(5));
                                 ctx.yield_now();
@@ -166,20 +166,25 @@ pub fn lock_dsm(nodes: usize, rounds: usize) -> AblationRow {
 /// node 1; a node-0 thread invokes one summing operation on it (the thread
 /// ships, reads locally, ships back).
 pub fn large_object_amber(record_bytes: usize) -> AblationRow {
-    run_phases(2, 1, format!("amber {record_bytes:>6}B record"), move |ctx| {
-        let record = ctx.create_on(NodeId(1), vec![1u8; record_bytes]);
-        let anchor = ctx.create(0u8);
-        move |ctx: &Ctx| {
-            let sum = ctx.invoke(&anchor, |ctx, _| {
-                ctx.invoke_shared(&record, |ctx, r| {
-                    ctx.work(SimTime::from_ns(10 * r.len() as u64));
-                    r.iter().map(|b| *b as u64).sum::<u64>()
-                })
-            });
-            assert_eq!(sum as usize, record_bytes);
-            SimTime::ZERO
-        }
-    })
+    run_phases(
+        2,
+        1,
+        format!("amber {record_bytes:>6}B record"),
+        move |ctx| {
+            let record = ctx.create_on(NodeId(1), vec![1u8; record_bytes]);
+            let anchor = ctx.create(0u8);
+            move |ctx: &Ctx| {
+                let sum = ctx.invoke(&anchor, |ctx, _| {
+                    ctx.invoke_shared(&record, |ctx, r| {
+                        ctx.work(SimTime::from_ns(10 * r.len() as u64));
+                        r.iter().map(|b| *b as u64).sum::<u64>()
+                    })
+                });
+                assert_eq!(sum as usize, record_bytes);
+                SimTime::ZERO
+            }
+        },
+    )
 }
 
 /// The same record in DSM pages, read in its entirety from node 0: one
@@ -340,7 +345,12 @@ mod tests {
             a.elapsed,
             d.elapsed
         );
-        assert!(a.msgs < d.msgs / 10, "amber: {} msgs, dsm: {}", a.msgs, d.msgs);
+        assert!(
+            a.msgs < d.msgs / 10,
+            "amber: {} msgs, dsm: {}",
+            a.msgs,
+            d.msgs
+        );
     }
 
     #[test]
@@ -350,7 +360,12 @@ mod tests {
         // Well-placed objects touch the network only to start/join the
         // remote worker threads; the updates themselves are free, while
         // the packed page keeps moving.
-        assert!(d.msgs >= 2 * a.msgs, "amber {} vs dsm {} msgs", a.msgs, d.msgs);
+        assert!(
+            d.msgs >= 2 * a.msgs,
+            "amber {} vs dsm {} msgs",
+            a.msgs,
+            d.msgs
+        );
         assert!(a.elapsed < d.elapsed);
     }
 }

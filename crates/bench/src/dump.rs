@@ -1,0 +1,123 @@
+//! Optional on-disk results: raw numbers plus protocol event traces.
+//!
+//! Set `AMBER_TRACE_DIR=<dir>` before running a figure binary and every
+//! experiment point is re-run with tracing enabled, writing two files next
+//! to each other under `<dir>`:
+//!
+//! * `<slug>.json` — the point's raw numbers (virtual time, iterations,
+//!   checksum, message/byte totals, event count);
+//! * `<slug>.trace.json` — the full protocol event stream in Chrome-trace
+//!   format, loadable directly in Perfetto (<https://ui.perfetto.dev>) or
+//!   `chrome://tracing`.
+//!
+//! Dumping is best-effort: an unwritable directory prints a warning and the
+//! experiment numbers are still produced as usual.
+
+use std::path::Path;
+
+use amber_apps::sor::SorResult;
+use amber_core::trace::chrome_trace_json;
+use amber_core::TraceRecord;
+
+/// File-system-safe slug of an experiment-point label: lowercase
+/// alphanumerics with runs of anything else collapsed to single dashes
+/// (`"8Nx4P (no overlap)"` → `"8nx4p-no-overlap"`).
+pub fn slug(label: &str) -> String {
+    let mapped: String = label
+        .chars()
+        .map(|c| {
+            if c.is_ascii_alphanumeric() {
+                c.to_ascii_lowercase()
+            } else {
+                '-'
+            }
+        })
+        .collect();
+    mapped
+        .split('-')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("-")
+}
+
+/// Renders a point's raw numbers as a small JSON object.
+pub fn point_json(label: &str, r: &SorResult, events: usize) -> String {
+    format!(
+        concat!(
+            "{{\"label\":{:?},\"elapsed_ns\":{},\"iterations\":{},",
+            "\"checksum\":{},\"max_delta\":{},\"msgs\":{},\"bytes\":{},",
+            "\"trace_events\":{}}}\n"
+        ),
+        label,
+        r.elapsed.as_ns(),
+        r.iterations,
+        r.checksum,
+        r.max_delta,
+        r.msgs,
+        r.bytes,
+        events,
+    )
+}
+
+/// Writes `<slug>.json` and `<slug>.trace.json` for one experiment point
+/// under `dir`, creating the directory if needed. Best-effort: failures are
+/// reported on stderr and swallowed.
+pub fn write_point(dir: &Path, label: &str, r: &SorResult, events: &[TraceRecord]) {
+    if let Err(e) = std::fs::create_dir_all(dir) {
+        eprintln!("warning: cannot create {}: {e}", dir.display());
+        return;
+    }
+    let s = slug(label);
+    let numbers = point_json(label, r, events.len());
+    let trace = chrome_trace_json(events);
+    for (name, body) in [
+        (format!("{s}.json"), numbers),
+        (format!("{s}.trace.json"), trace),
+    ] {
+        let path = dir.join(name);
+        if let Err(e) = std::fs::write(&path, body) {
+            eprintln!("warning: cannot write {}: {e}", path.display());
+        }
+    }
+}
+
+/// The dump directory, if the `AMBER_TRACE_DIR` switch is set.
+pub fn trace_dir() -> Option<std::path::PathBuf> {
+    std::env::var_os("AMBER_TRACE_DIR").map(std::path::PathBuf::from)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amber_apps::sor::{run_amber_sor_capture, SorParams};
+
+    #[test]
+    fn slugs_are_filename_safe() {
+        assert_eq!(slug("8Nx4P (no overlap)"), "8nx4p-no-overlap");
+        assert_eq!(slug("122x842 (102724 pts)"), "122x842-102724-pts");
+        assert_eq!(slug("---"), "");
+    }
+
+    #[test]
+    fn captured_sor_trace_dumps_loadable_json() {
+        let mut p = SorParams::small(2, 1);
+        p.max_iters = 2;
+        let (r, events) = run_amber_sor_capture(p);
+        assert!(!events.is_empty(), "a SOR run must emit events");
+        let dir = std::env::temp_dir().join(format!("amber-dump-{}", std::process::id()));
+        write_point(&dir, "2Nx1P smoke", &r, &events);
+        let trace = std::fs::read_to_string(dir.join("2nx1p-smoke.trace.json")).unwrap();
+        // Perfetto's loader wants one JSON object with a traceEvents array;
+        // check the envelope and that braces/brackets balance.
+        assert!(trace.starts_with('{') && trace.trim_end().ends_with('}'));
+        assert!(trace.contains("\"traceEvents\":["));
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            let opens = trace.matches(open).count();
+            let closes = trace.matches(close).count();
+            assert_eq!(opens, closes, "unbalanced {open}{close}");
+        }
+        let numbers = std::fs::read_to_string(dir.join("2nx1p-smoke.json")).unwrap();
+        assert!(numbers.contains("\"iterations\":2"));
+        std::fs::remove_dir_all(&dir).ok();
+    }
+}

@@ -8,6 +8,7 @@
 #![warn(missing_docs)]
 
 pub mod ablate;
+pub mod dump;
 pub mod ops;
 pub mod sorbench;
 

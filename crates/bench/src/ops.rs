@@ -117,9 +117,17 @@ impl Table1 {
         vec![
             row("object create", paper.object_create, self.object_create),
             row("local invoke/return", paper.local_invoke, self.local_invoke),
-            row("remote invoke/return", paper.remote_invoke, self.remote_invoke),
+            row(
+                "remote invoke/return",
+                paper.remote_invoke,
+                self.remote_invoke,
+            ),
             row("object move", paper.object_move, self.object_move),
-            row("thread start/join", paper.thread_start_join, self.thread_start_join),
+            row(
+                "thread start/join",
+                paper.thread_start_join,
+                self.thread_start_join,
+            ),
         ]
     }
 }

@@ -152,7 +152,10 @@ impl Cluster {
     /// Shorthand for a simulated `nodes` x `processors` cluster with the
     /// default Firefly/Ethernet models.
     pub fn sim(nodes: usize, processors: usize) -> Cluster {
-        Cluster::builder().nodes(nodes).processors(processors).build()
+        Cluster::builder()
+            .nodes(nodes)
+            .processors(processors)
+            .build()
     }
 
     /// Runs `main` as the program's main thread on the boot node, waits for
@@ -193,6 +196,50 @@ impl Cluster {
         self.kernel.pstats.snapshot()
     }
 
+    // ----- tracing --------------------------------------------------------
+
+    /// Installs an in-memory trace sink and returns it: every protocol
+    /// event (invocations, migrations, moves, forwarding hops, message
+    /// sends, ...) is recorded, stamped with the engine clock, until
+    /// [`disable_tracing`](Cluster::disable_tracing).
+    ///
+    /// Export a captured stream with [`amber_engine::trace::chrome_trace_json`]
+    /// or reconcile it against [`protocol_stats`](Cluster::protocol_stats)
+    /// with [`crate::TraceSummary::from_events`].
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use amber_core::{Cluster, TraceSummary};
+    ///
+    /// let cluster = Cluster::sim(2, 1);
+    /// let sink = cluster.enable_tracing();
+    /// cluster
+    ///     .run(|ctx| {
+    ///         let v = ctx.create_on(amber_core::NodeId(1), 7u64);
+    ///         ctx.invoke(&v, |_, v| *v += 1);
+    ///     })
+    ///     .unwrap();
+    /// let summary = TraceSummary::from_events(&sink.take());
+    /// assert_eq!(summary.snapshot, cluster.protocol_stats());
+    /// ```
+    pub fn enable_tracing(&self) -> Arc<amber_engine::MemorySink> {
+        let sink = amber_engine::MemorySink::new();
+        self.kernel.engine.tracer().install(sink.clone());
+        sink
+    }
+
+    /// Installs a custom [`amber_engine::TraceSink`] (replacing any
+    /// previous sink).
+    pub fn set_trace_sink(&self, sink: Arc<dyn amber_engine::TraceSink>) {
+        self.kernel.engine.tracer().install(sink);
+    }
+
+    /// Stops tracing; returns the previously installed sink, if any.
+    pub fn disable_tracing(&self) -> Option<Arc<dyn amber_engine::TraceSink>> {
+        self.kernel.engine.tracer().uninstall()
+    }
+
     /// Debug dump of every object's admission state:
     /// `(addr, exclusive_owner, shared_count, queued_waiters, moving)`.
     /// Intended for post-mortem inspection after a deadlock report.
@@ -201,7 +248,15 @@ impl Cluster {
         let objects = self.kernel.objects.lock();
         let mut v: Vec<_> = objects
             .iter()
-            .map(|(a, e)| (*a, e.excl_owner, e.shared_count, e.op_waiters.len(), e.moving))
+            .map(|(a, e)| {
+                (
+                    *a,
+                    e.excl_owner,
+                    e.shared_count,
+                    e.op_waiters.len(),
+                    e.moving,
+                )
+            })
             .collect();
         v.sort_by_key(|(a, ..)| *a);
         v

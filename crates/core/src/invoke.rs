@@ -121,6 +121,7 @@ impl Kernel {
         }
         self.engine.work(self.cost.remote_dispatch);
         ProtocolStats::bump(&self.pstats.thread_migrations);
+        self.trace(|| amber_engine::ProtocolEvent::ThreadMigration { from, to });
     }
 
     /// Runs the residency protocol until the object at `addr` is local to
@@ -158,7 +159,10 @@ impl Kernel {
                     // nodes along the chain" (section 3.3).
                     for n in visited {
                         if n != here {
-                            self.nodes[n.index()].descriptors.lock().cache_hint(addr, here);
+                            self.nodes[n.index()]
+                                .descriptors
+                                .lock()
+                                .cache_hint(addr, here);
                         }
                     }
                     return here;
@@ -171,13 +175,24 @@ impl Kernel {
                 }
                 Some(Residency::Forward(n)) => {
                     ProtocolStats::bump(&self.pstats.forward_hops);
+                    self.trace(|| amber_engine::ProtocolEvent::ForwardHop {
+                        obj: addr.0,
+                        at: here,
+                        to: n,
+                    });
                     self.engine.work(self.cost.forward_hop);
                     n
                 }
                 None => {
                     // Uninitialized descriptor: route via the home node.
                     ProtocolStats::bump(&self.pstats.home_routes);
-                    self.home_of(here, addr)
+                    let home = self.home_of(here, addr);
+                    self.trace(|| amber_engine::ProtocolEvent::HomeRoute {
+                        obj: addr.0,
+                        at: here,
+                        home,
+                    });
+                    home
                 }
             };
             if next == here {
@@ -191,10 +206,16 @@ impl Kernel {
                     .expect("object vanished mid-chase");
                 if loc == here {
                     // Truly here but the descriptor lagged; repair it.
-                    self.nodes[here.index()].descriptors.lock().set_resident(addr);
+                    self.nodes[here.index()]
+                        .descriptors
+                        .lock()
+                        .set_resident(addr);
                     continue;
                 }
-                self.nodes[here.index()].descriptors.lock().cache_hint(addr, loc);
+                self.nodes[here.index()]
+                    .descriptors
+                    .lock()
+                    .cache_hint(addr, loc);
                 continue;
             }
             hops += 1;
@@ -361,8 +382,17 @@ impl Kernel {
         }
         if at != start_node {
             ProtocolStats::bump(&self.pstats.remote_invokes);
+            self.trace(|| amber_engine::ProtocolEvent::RemoteInvoke {
+                obj: addr.0,
+                from: start_node,
+                to: at,
+            });
         } else {
             ProtocolStats::bump(&self.pstats.local_invokes);
+            self.trace(|| amber_engine::ProtocolEvent::LocalInvoke {
+                obj: addr.0,
+                node: at,
+            });
         }
         self.engine.work(self.cost.local_invoke);
         let cell = self.acquire_payload(addr, Access::Exclusive);
@@ -431,8 +461,17 @@ impl Kernel {
         }
         if at != start_node {
             ProtocolStats::bump(&self.pstats.remote_invokes);
+            self.trace(|| amber_engine::ProtocolEvent::RemoteInvoke {
+                obj: addr.0,
+                from: start_node,
+                to: at,
+            });
         } else {
             ProtocolStats::bump(&self.pstats.local_invokes);
+            self.trace(|| amber_engine::ProtocolEvent::LocalInvoke {
+                obj: addr.0,
+                node: at,
+            });
         }
         self.engine.work(self.cost.local_invoke);
         let cell = self.acquire_payload(addr, Access::Shared);

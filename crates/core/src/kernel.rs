@@ -20,12 +20,8 @@ use std::any::Any;
 use std::collections::{HashMap, VecDeque};
 use std::sync::Arc;
 
-use amber_engine::{
-    must_current_thread, CostModel, Engine, NodeId, SimTime, ThreadId,
-};
-use amber_vspace::{
-    AddressSpaceServer, DescriptorTable, HeapError, NodeHeap, RegionMap, VAddr,
-};
+use amber_engine::{must_current_thread, CostModel, Engine, NodeId, SimTime, ThreadId};
+use amber_vspace::{AddressSpaceServer, DescriptorTable, HeapError, NodeHeap, RegionMap, VAddr};
 use parking_lot::{Mutex, RwLock};
 
 use crate::objref::{AmberObject, ObjRef};
@@ -156,6 +152,16 @@ impl Kernel {
         self.engine.node_of(must_current_thread())
     }
 
+    /// Emits one protocol trace event, stamped with the engine clock and the
+    /// current thread. The closure only runs when a sink is installed, so
+    /// hot paths pay a single atomic check when tracing is off.
+    pub(crate) fn trace(&self, event: impl FnOnce() -> amber_engine::ProtocolEvent) {
+        let tracer = self.engine.tracer();
+        if tracer.is_enabled() {
+            tracer.emit(self.engine.now(), amber_engine::current_thread(), event);
+        }
+    }
+
     /// Sends a message and parks the current thread until it is delivered,
     /// modelling the thread waiting one network leg. Returns after the
     /// latency for `bytes` has elapsed.
@@ -195,6 +201,7 @@ impl Kernel {
             return owner;
         }
         ProtocolStats::bump(&self.pstats.region_lookups);
+        self.trace(|| amber_engine::ProtocolEvent::RegionLookup { node: asking });
         self.engine.work(self.cost.region_lookup);
         if asking != NodeId::BOOT {
             self.control_rtt(asking, NodeId::BOOT, "region-lookup");
@@ -204,7 +211,10 @@ impl Kernel {
             .lock()
             .owner(region)
             .expect("address outside any assigned region");
-        self.nodes[asking.index()].regions.lock().learn(region, owner);
+        self.nodes[asking.index()]
+            .regions
+            .lock()
+            .learn(region, owner);
         owner
     }
 
@@ -217,6 +227,7 @@ impl Kernel {
                 Ok(addr) => return addr,
                 Err(HeapError::NeedRegion) => {
                     ProtocolStats::bump(&self.pstats.region_extensions);
+                    self.trace(|| amber_engine::ProtocolEvent::RegionExtension { node });
                     // Fetch a fresh region from the server (round trip off
                     // the boot node).
                     if node != NodeId::BOOT {
@@ -262,10 +273,14 @@ impl Kernel {
             moving: false,
             move_waiters: Vec::new(),
         };
-        self.nodes[node.index()].descriptors.lock().set_resident(addr);
+        self.nodes[node.index()]
+            .descriptors
+            .lock()
+            .set_resident(addr);
         let prev = self.objects.lock().insert(addr, entry);
         debug_assert!(prev.is_none(), "heap handed out a live address");
         ProtocolStats::bump(&self.pstats.creates);
+        self.trace(|| amber_engine::ProtocolEvent::ObjectCreate { obj: addr.0, node });
         ObjRef::from_addr(addr)
     }
 
@@ -276,7 +291,12 @@ impl Kernel {
         debug_assert_ne!(node, from);
         let size = value.transfer_size();
         self.engine.work(self.cost.object_marshal);
-        self.one_way(from, node, size + self.cost.control_packet_bytes, "create-request");
+        self.one_way(
+            from,
+            node,
+            size + self.cost.control_packet_bytes,
+            "create-request",
+        );
         // We are logically at the target node's kernel now: allocate there.
         self.engine.work(self.cost.object_create);
         let addr = self.heap_alloc(node, size.max(1));
@@ -301,10 +321,14 @@ impl Kernel {
             moving: false,
             move_waiters: Vec::new(),
         };
-        self.nodes[node.index()].descriptors.lock().set_resident(addr);
+        self.nodes[node.index()]
+            .descriptors
+            .lock()
+            .set_resident(addr);
         let prev = self.objects.lock().insert(addr, entry);
         debug_assert!(prev.is_none(), "heap handed out a live address");
         ProtocolStats::bump(&self.pstats.creates);
+        self.trace(|| amber_engine::ProtocolEvent::ObjectCreate { obj: addr.0, node });
         self.one_way(node, from, self.cost.control_packet_bytes, "create-reply");
         ObjRef::from_addr(addr)
     }
@@ -339,13 +363,20 @@ impl Kernel {
                 .lock()
                 .clear(addr);
         }
-        self.nodes[entry.home.index()].descriptors.lock().clear(addr);
+        self.nodes[entry.home.index()]
+            .descriptors
+            .lock()
+            .clear(addr);
         self.nodes[entry.home.index()]
             .heap
             .lock()
             .free(addr)
             .expect("destroying object whose block is not live");
         ProtocolStats::bump(&self.pstats.destroys);
+        self.trace(|| amber_engine::ProtocolEvent::ObjectDestroy {
+            obj: addr.0,
+            node: me,
+        });
     }
 
     /// Charges `cost` of CPU to the current thread, after first letting the

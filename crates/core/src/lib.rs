@@ -55,12 +55,13 @@ mod thread;
 pub use cluster::{Cluster, ClusterBuilder, Ctx, EngineChoice};
 pub use kernel::Kernel;
 pub use objref::{AmberObject, ObjRef};
-pub use stats::{ProtocolSnapshot, ProtocolStats};
+pub use stats::{ProtocolSnapshot, ProtocolStats, TraceSummary};
 pub use thread::{JoinHandle, ThreadObj};
 
 // Commonly useful re-exports so applications depend on one crate.
 pub use amber_engine::{
-    CostModel, EngineError, LatencyModel, NodeId, PolicyKind, SimTime, ThreadId,
+    trace, CostModel, EngineError, LatencyModel, MemorySink, NodeId, PolicyKind, ProtocolEvent,
+    SimTime, ThreadId, TraceRecord, TraceSink,
 };
 pub use amber_vspace::VAddr;
 

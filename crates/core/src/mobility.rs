@@ -25,9 +25,12 @@ use crate::stats::ProtocolStats;
 
 impl Kernel {
     /// The attachment closure rooted at `addr`: the object plus everything
-    /// transitively attached to it.
-    fn attachment_group(&self, addr: VAddr) -> Vec<VAddr> {
-        let objects = self.objects.lock();
+    /// transitively attached to it. Takes the already-locked registry so
+    /// callers can compute the group and acquire move flags atomically.
+    fn group_of(
+        objects: &std::collections::HashMap<VAddr, crate::kernel::ObjectEntry>,
+        addr: VAddr,
+    ) -> Vec<VAddr> {
         let mut group = vec![addr];
         let mut i = 0;
         while i < group.len() {
@@ -55,33 +58,71 @@ impl Kernel {
     /// Panics if the object is unknown, or attached to another object (move
     /// the root of the attachment instead).
     pub(crate) fn move_to(&self, addr: VAddr, dest: NodeId) {
+        self.move_object(addr, dest, false);
+    }
+
+    /// The internal move path behind [`move_to`](Kernel::move_to).
+    ///
+    /// `allow_attached` lets `attach` move a child that is *already*
+    /// registered as attached, so co-location never opens a window in which
+    /// a concurrent mover observes the child as detached (the old
+    /// implementation temporarily lifted `attached_to` around the move).
+    pub(crate) fn move_object(&self, addr: VAddr, dest: NodeId, allow_attached: bool) {
         assert!(dest.index() < self.nodes.len(), "no such {dest}");
         let me = must_current_thread();
         let my_node = self.engine.node_of(me);
-        // Serialize concurrent moves of the same object.
-        let (source, immutable) = loop {
+        // Serialize concurrent moves of the same *group*, not just the same
+        // root: an attach may be co-locating a member while we try to move
+        // the root, and two in-flight transfers of one object interleave
+        // their descriptor writes (leaving a stale Resident entry behind).
+        // So the mover atomically claims the `moving` flag on every member
+        // of the attachment group, parking if any member is already moving.
+        let (source, immutable, group) = loop {
             let mut objects = self.objects.lock();
-            let e = objects
-                .get_mut(&addr)
-                .unwrap_or_else(|| panic!("MoveTo on destroyed or unknown object {addr}"));
+            let (location, immutable, attached_to, moving) = {
+                let e = objects
+                    .get(&addr)
+                    .unwrap_or_else(|| panic!("MoveTo on destroyed or unknown object {addr}"));
+                (e.location, e.immutable, e.attached_to, e.moving)
+            };
             assert!(
-                e.attached_to.is_none(),
+                allow_attached || attached_to.is_none(),
                 "MoveTo on an attached object; move the attachment root"
             );
-            if e.moving {
-                e.move_waiters.push(me);
+            if moving {
+                objects
+                    .get_mut(&addr)
+                    .expect("checked above")
+                    .move_waiters
+                    .push(me);
                 drop(objects);
                 self.engine.block_kernel("moveto-serialize");
                 continue;
             }
-            if e.immutable {
-                break (e.location, true);
+            if immutable {
+                break (location, true, Vec::new());
             }
-            if e.location == dest {
+            if location == dest {
                 return;
             }
-            e.moving = true;
-            break (e.location, false);
+            let group = Self::group_of(&objects, addr);
+            if let Some(&busy) = group
+                .iter()
+                .find(|a| objects.get(a).is_some_and(|m| m.moving))
+            {
+                objects
+                    .get_mut(&busy)
+                    .expect("checked above")
+                    .move_waiters
+                    .push(me);
+                drop(objects);
+                self.engine.block_kernel("moveto-serialize");
+                continue;
+            }
+            for a in &group {
+                objects.get_mut(a).expect("attached object vanished").moving = true;
+            }
+            break (location, false, group);
         };
         if immutable {
             let _ = source;
@@ -98,20 +139,31 @@ impl Kernel {
             self.control_rtt(my_node, source, "moveto-request");
         }
 
-        let group = self.attachment_group(addr);
         let mut bytes = 0usize;
         {
             // Flip descriptors to forwarding *before* the transfer
-            // (section 3.5 ordering) and gather the group size.
+            // (section 3.5 ordering) and gather the group size. Each member
+            // is flipped at its *own* current node: a freshly attached child
+            // may not have reached the root's node yet, and flipping only
+            // the root's table would leave the child's node claiming
+            // residency after the group installs at `dest`.
             let objects = self.objects.lock();
-            let src_desc = &self.nodes[source.index()].descriptors;
-            let mut d = src_desc.lock();
             for a in &group {
                 let e = objects.get(a).expect("attached object vanished");
                 bytes += e.size;
-                d.set_forward(*a, dest);
+                self.nodes[e.location.index()]
+                    .descriptors
+                    .lock()
+                    .set_forward(*a, dest);
             }
         }
+        self.trace(|| amber_engine::ProtocolEvent::ObjectMove {
+            obj: addr.0,
+            from: source,
+            to: dest,
+            group: group.len(),
+            bytes,
+        });
         // Preempt every processor on the source node so running threads
         // make a residency check before continuing (section 3.5).
         let procs = self.engine.processors(source);
@@ -134,12 +186,17 @@ impl Kernel {
         }
         // Acknowledge back to the source (completes the synchronous move).
         self.one_way(dest, source, self.cost.control_packet_bytes, "moveto-ack");
-        // Clear the moving flag and release anyone who parked on the move.
+        // Clear the moving flag on every group member and release anyone
+        // who parked on any of them.
         let waiters = {
             let mut objects = self.objects.lock();
-            let e = objects.get_mut(&addr).expect("moved object vanished");
-            e.moving = false;
-            std::mem::take(&mut e.move_waiters)
+            let mut ws = Vec::new();
+            for a in &group {
+                let e = objects.get_mut(a).expect("moved object vanished");
+                e.moving = false;
+                ws.append(&mut e.move_waiters);
+            }
+            ws
         };
         for t in waiters {
             self.engine.unblock_kernel(t);
@@ -189,18 +246,37 @@ impl Kernel {
         // object's bytes come back.
         let my_node = self.current_node();
         if my_node == node {
-            self.one_way(node, location, self.cost.control_packet_bytes, "replica-request");
+            self.one_way(
+                node,
+                location,
+                self.cost.control_packet_bytes,
+                "replica-request",
+            );
             self.one_way(location, node, size, "replica-data");
         } else {
             // Third-party replication (MoveTo of an immutable to elsewhere):
             // the requester relays.
-            self.one_way(my_node, location, self.cost.control_packet_bytes, "replica-request");
+            self.one_way(
+                my_node,
+                location,
+                self.cost.control_packet_bytes,
+                "replica-request",
+            );
             self.one_way(location, node, size, "replica-data");
             self.one_way(node, my_node, self.cost.control_packet_bytes, "replica-ack");
         }
         self.engine.work(self.cost.move_install);
-        self.nodes[node.index()].descriptors.lock().set_replica(addr);
+        self.nodes[node.index()]
+            .descriptors
+            .lock()
+            .set_replica(addr);
         ProtocolStats::bump(&self.pstats.replications);
+        self.trace(|| amber_engine::ProtocolEvent::Replication {
+            obj: addr.0,
+            from: location,
+            to: node,
+            bytes: size,
+        });
         let waiters = self.nodes[node.index()]
             .replicating
             .lock()
@@ -268,28 +344,45 @@ impl Kernel {
             let p = objects.get_mut(&parent).expect("parent vanished");
             p.attached.push(child);
         }
-        // Co-locate immediately: bring the child to the parent's node.
-        let (parent_loc, child_loc) = {
-            let objects = self.objects.lock();
-            (
-                objects.get(&parent).expect("parent vanished").location,
-                objects.get(&child).expect("child vanished").location,
-            )
-        };
-        if parent_loc != child_loc {
-            // Temporarily lift the attachment so move_to's root assertion
-            // passes, then restore it.
-            self.objects
-                .lock()
-                .get_mut(&child)
-                .expect("child vanished")
-                .attached_to = None;
-            self.move_to(child, parent_loc);
-            self.objects
-                .lock()
-                .get_mut(&child)
-                .expect("child vanished")
-                .attached_to = Some(parent);
+        // Co-locate immediately: bring the child to the parent's node via
+        // the internal move path, which accepts an attached root. The old
+        // implementation lifted `attached_to` around a public `move_to`,
+        // opening a window in which a concurrent `MoveTo` of the parent
+        // computed its attachment group without the child (and the child's
+        // own move then targeted a stale parent location). Re-reading the
+        // parent's location each round closes the race: if the parent moves
+        // underneath us, we chase it until both agree.
+        let me = must_current_thread();
+        let mut rounds = 0u32;
+        loop {
+            let (parent_loc, child_loc) = {
+                let mut objects = self.objects.lock();
+                // Only compare *settled* locations: if either object is
+                // mid-move, park on its waiters and re-read afterwards.
+                let busy = [parent, child]
+                    .into_iter()
+                    .find(|a| objects.get(a).is_some_and(|e| e.moving));
+                if let Some(busy) = busy {
+                    objects
+                        .get_mut(&busy)
+                        .expect("checked above")
+                        .move_waiters
+                        .push(me);
+                    drop(objects);
+                    self.engine.block_kernel("attach-await-move");
+                    continue;
+                }
+                (
+                    objects.get(&parent).expect("parent vanished").location,
+                    objects.get(&child).expect("child vanished").location,
+                )
+            };
+            if parent_loc == child_loc {
+                break;
+            }
+            rounds += 1;
+            assert!(rounds < 10_000, "attach co-location did not converge");
+            self.move_object(child, parent_loc, true);
         }
     }
 
@@ -307,28 +400,62 @@ impl Kernel {
             .attached_to
             .take()
             .expect("unattach of an object that is not attached");
-        let p = objects.get_mut(&parent).expect("attachment parent vanished");
+        let p = objects
+            .get_mut(&parent)
+            .expect("attachment parent vanished");
         p.attached.retain(|a| *a != child);
     }
 
     /// Locates the object by following the forwarding chain with control
     /// probes (the thread does not move). Caches the answer locally.
+    ///
+    /// A locate that lands mid-move parks on the object's `move_waiters`
+    /// (like [`ensure_at_object`](Kernel::ensure_at_object)) instead of
+    /// reading descriptors mid-transfer: probing during the move could cache
+    /// a stale hint or observe the registry in a half-installed state.
     pub(crate) fn locate(&self, addr: VAddr) -> NodeId {
+        let me = must_current_thread();
         let origin = self.current_node();
         let mut cur = origin;
         let mut hops = 0u32;
         loop {
+            // Park while a move of this object is in flight; woken by the
+            // mover once the group has installed at the destination.
+            {
+                let mut objects = self.objects.lock();
+                match objects.get_mut(&addr) {
+                    Some(e) if e.moving => {
+                        e.move_waiters.push(me);
+                        drop(objects);
+                        self.engine.block_kernel("await-move-install");
+                        continue;
+                    }
+                    Some(_) => {}
+                    None => panic!("locate of destroyed or unknown object {addr}"),
+                }
+            }
             let desc = self.nodes[cur.index()].descriptors.lock().lookup(addr);
             let next = match desc {
                 Some(Residency::Resident) | Some(Residency::Replica) => break,
                 Some(Residency::Forward(n)) => {
                     ProtocolStats::bump(&self.pstats.forward_hops);
+                    self.trace(|| amber_engine::ProtocolEvent::ForwardHop {
+                        obj: addr.0,
+                        at: cur,
+                        to: n,
+                    });
                     self.engine.work(self.cost.forward_hop);
                     n
                 }
                 None => {
                     ProtocolStats::bump(&self.pstats.home_routes);
-                    self.home_of(cur, addr)
+                    let home = self.home_of(cur, addr);
+                    self.trace(|| amber_engine::ProtocolEvent::HomeRoute {
+                        obj: addr.0,
+                        at: cur,
+                        home,
+                    });
+                    home
                 }
             };
             if next == cur {
@@ -342,7 +469,10 @@ impl Kernel {
                 if loc == cur {
                     break;
                 }
-                self.nodes[cur.index()].descriptors.lock().cache_hint(addr, loc);
+                self.nodes[cur.index()]
+                    .descriptors
+                    .lock()
+                    .cache_hint(addr, loc);
                 continue;
             }
             hops += 1;
@@ -352,7 +482,10 @@ impl Kernel {
         }
         if cur != origin {
             self.one_way(cur, origin, self.cost.control_packet_bytes, "locate-reply");
-            self.nodes[origin.index()].descriptors.lock().cache_hint(addr, cur);
+            self.nodes[origin.index()]
+                .descriptors
+                .lock()
+                .cache_hint(addr, cur);
         }
         cur
     }

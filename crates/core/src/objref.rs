@@ -51,7 +51,21 @@ macro_rules! amber_object_for_scalars {
 }
 
 amber_object_for_scalars!(
-    (), bool, char, u8, u16, u32, u64, usize, i8, i16, i32, i64, isize, f32, f64,
+    (),
+    bool,
+    char,
+    u8,
+    u16,
+    u32,
+    u64,
+    usize,
+    i8,
+    i16,
+    i32,
+    i64,
+    isize,
+    f32,
+    f64,
 );
 
 impl AmberObject for String {

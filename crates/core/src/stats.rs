@@ -93,6 +93,58 @@ impl ProtocolSnapshot {
     }
 }
 
+/// Aggregate view of a captured protocol event stream.
+///
+/// [`from_events`](TraceSummary::from_events) recomputes every
+/// [`ProtocolSnapshot`] counter from the events alone, which gives tests a
+/// reconciliation check: a trace captured over a whole run must agree with
+/// [`ProtocolStats::snapshot`] counter for counter, or an emission site has
+/// drifted from its counter bump.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct TraceSummary {
+    /// The counters as recomputed from the event stream.
+    pub snapshot: ProtocolSnapshot,
+    /// Engine-level network messages observed.
+    pub messages: u64,
+    /// Total payload bytes of those messages.
+    pub message_bytes: u64,
+    /// Total payload bytes moved by explicit object moves.
+    pub moved_bytes: u64,
+}
+
+impl TraceSummary {
+    /// Recomputes protocol counters from a captured event stream.
+    pub fn from_events(events: &[amber_engine::TraceRecord]) -> TraceSummary {
+        use amber_engine::ProtocolEvent as E;
+        let mut s = TraceSummary::default();
+        for rec in events {
+            match rec.event {
+                E::LocalInvoke { .. } => s.snapshot.local_invokes += 1,
+                E::RemoteInvoke { .. } => s.snapshot.remote_invokes += 1,
+                E::ThreadMigration { .. } => s.snapshot.thread_migrations += 1,
+                E::ObjectMove { bytes, .. } => {
+                    s.snapshot.object_moves += 1;
+                    s.moved_bytes += bytes as u64;
+                }
+                E::Replication { .. } => s.snapshot.replications += 1,
+                E::ForwardHop { .. } => s.snapshot.forward_hops += 1,
+                E::HomeRoute { .. } => s.snapshot.home_routes += 1,
+                E::ObjectCreate { .. } => s.snapshot.creates += 1,
+                E::ObjectDestroy { .. } => s.snapshot.destroys += 1,
+                E::ThreadStart { .. } => s.snapshot.thread_starts += 1,
+                E::Join { .. } => s.snapshot.joins += 1,
+                E::RegionExtension { .. } => s.snapshot.region_extensions += 1,
+                E::RegionLookup { .. } => s.snapshot.region_lookups += 1,
+                E::MessageSend { bytes, .. } => {
+                    s.messages += 1;
+                    s.message_bytes += bytes as u64;
+                }
+            }
+        }
+        s
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

@@ -61,7 +61,11 @@ fn remote_invocation_ships_thread_and_it_stays() {
             ctx.node()
         });
         assert_eq!(during, NodeId(1));
-        assert_eq!(ctx.node(), NodeId(1), "root-level return does not bounce back");
+        assert_eq!(
+            ctx.node(),
+            NodeId(1),
+            "root-level return does not bounce back"
+        );
     })
     .unwrap();
     let p = c.protocol_stats();
@@ -195,7 +199,9 @@ fn uninitialized_descriptor_routes_via_home_node() {
 fn attach_colocates_and_moves_group() {
     let c = sim(3, 1);
     c.run(|ctx| {
-        let parent = ctx.create(Grid { cells: vec![0.0; 64] });
+        let parent = ctx.create(Grid {
+            cells: vec![0.0; 64],
+        });
         let child = ctx.create_on(NodeId(1), 1u8);
         ctx.attach(&child, &parent);
         // Attachment co-locates immediately.
@@ -242,7 +248,10 @@ fn immutable_move_copies_instead_of_moving() {
     })
     .unwrap();
     let p = c.protocol_stats();
-    assert_eq!(p.object_moves, 0, "immutable MoveTo must not count as a move");
+    assert_eq!(
+        p.object_moves, 0,
+        "immutable MoveTo must not count as a move"
+    );
     assert!(p.replications >= 1);
 }
 
@@ -277,7 +286,8 @@ fn mutating_an_immutable_object_is_an_error() {
         })
         .unwrap_err();
     assert!(
-        err.to_string().contains("exclusive invocation of immutable object"),
+        err.to_string()
+            .contains("exclusive invocation of immutable object"),
         "{err}"
     );
 }
@@ -328,7 +338,9 @@ fn shared_operations_overlap_exclusive_do_not() {
     let c = sim(1, 2);
     let (shared_span, excl_span) = c
         .run(|ctx| {
-            let obj = ctx.create(Grid { cells: vec![0.0; 8] });
+            let obj = ctx.create(Grid {
+                cells: vec![0.0; 8],
+            });
             // Two threads doing 10 ms of shared work inside the object.
             let t0 = ctx.now();
             let hs: Vec<_> = (0..2)
@@ -371,7 +383,9 @@ fn invoke_shared_overlaps_on_a_multiprocessor() {
     let c = sim(1, 2);
     let span = c
         .run(|ctx| {
-            let obj = ctx.create(Grid { cells: vec![0.0; 8] });
+            let obj = ctx.create(Grid {
+                cells: vec![0.0; 8],
+            });
             let anchor = ctx.create(0u8);
             let t0 = ctx.now();
             let hs: Vec<_> = (0..2)
@@ -424,14 +438,19 @@ fn exclusive_invocations_serialize_per_object() {
         .unwrap();
     // Four 5 ms exclusive sections on one object: at least 20 ms even with
     // four processors.
-    assert!(span >= SimTime::from_ms(20), "exclusive ops overlapped: {span}");
+    assert!(
+        span >= SimTime::from_ms(20),
+        "exclusive ops overlapped: {span}"
+    );
 }
 
 #[test]
 fn bound_thread_chases_moved_object() {
     let c = sim(2, 2);
     c.run(|ctx| {
-        let obj = ctx.create(Grid { cells: vec![0.0; 4] });
+        let obj = ctx.create(Grid {
+            cells: vec![0.0; 4],
+        });
         // A worker gets *inside* obj, then parks mid-operation. While it is
         // parked we move the object; on wake-up the worker's residency
         // re-check must carry it to the object's new node.
@@ -486,7 +505,10 @@ fn invoking_a_destroyed_object_is_an_error() {
             ctx.invoke(&a, |_, _| ());
         })
         .unwrap_err();
-    assert!(err.to_string().contains("destroyed or unknown object"), "{err}");
+    assert!(
+        err.to_string().contains("destroyed or unknown object"),
+        "{err}"
+    );
 }
 
 #[test]
@@ -745,9 +767,7 @@ fn shared_reads_of_mutable_object_ship_every_time() {
         let anchor = ctx.create(0u8);
         let before = ctx.protocol_stats().thread_migrations;
         for _ in 0..3 {
-            ctx.invoke(&anchor, |ctx, _| {
-                ctx.invoke_shared(&table, |_, t| t.len())
-            });
+            ctx.invoke(&anchor, |ctx, _| ctx.invoke_shared(&table, |_, t| t.len()));
         }
         let delta = ctx.protocol_stats().thread_migrations - before;
         assert_eq!(delta, 6, "three round trips expected, saw {delta} legs");
@@ -801,4 +821,158 @@ fn stats_snapshot_is_comprehensive() {
         assert!(p.total_invokes() >= 3);
     })
     .unwrap();
+}
+
+#[test]
+fn locate_parks_while_a_move_is_in_flight() {
+    // Regression: `locate` used to ignore the `moving` flag and probe
+    // descriptors mid-transfer. A probe issued from the destination node
+    // during the move ping-ponged between the forwarding source and the
+    // not-yet-installed destination, burning a forwarding hop per bounce
+    // until the transfer landed. It must park on `move_waiters` instead and
+    // answer with zero protocol noise once the move installs.
+    let c = sim(2, 1);
+    let (located, hops, homes) = c
+        .run(|ctx| {
+            // ~1 MB payload: the bulk transfer occupies ~800 ms of virtual
+            // wire time, a wide window for the mid-move probe.
+            let obj = ctx.create(Grid {
+                cells: vec![0.0; 125_000],
+            });
+            let anchor = ctx.create_on(NodeId(1), 0u8);
+            let prober = ctx.start(&anchor, move |ctx, _| {
+                ctx.sleep(SimTime::from_ms(10));
+                let before = ctx.protocol_stats();
+                let at = ctx.locate(&obj);
+                let after = ctx.protocol_stats();
+                (
+                    at,
+                    after.forward_hops - before.forward_hops,
+                    after.home_routes - before.home_routes,
+                )
+            });
+            ctx.move_to(&obj, NodeId(1));
+            prober.join(ctx)
+        })
+        .unwrap();
+    assert_eq!(located, NodeId(1), "locate answered a stale location");
+    // A parked locate wakes after the install and finds the object resident
+    // on its own node: at most one orientation step, not a bounce per
+    // in-flight transfer round trip.
+    assert!(
+        hops <= 1,
+        "mid-move locate chased descriptors instead of parking ({hops} hops)"
+    );
+    assert!(homes <= 1, "{homes} home routes during a parked locate");
+}
+
+#[test]
+fn attach_never_exposes_the_child_as_detached() {
+    // Regression: `attach` used to lift `attached_to` around its
+    // co-location move so the public `move_to` root assertion passed. A
+    // concurrent move of the parent computed its attachment group inside
+    // that window, moved the parent WITHOUT the child, and the attach then
+    // completed against the parent's stale location — leaving an attached
+    // child stranded on another node.
+    let c = sim(4, 1);
+    c.run(|ctx| {
+        let parent = ctx.create_on(NodeId(1), 0u32);
+        // ~100 KB child: its co-location transfer is slow enough that the
+        // parent's move lands inside it deterministically.
+        let child = ctx.create_on(
+            NodeId(2),
+            Grid {
+                cells: vec![0.0; 12_500],
+            },
+        );
+        let attacher_seat = ctx.create_on(NodeId(2), 0u8);
+        let mover_seat = ctx.create_on(NodeId(3), 0u8);
+        let attacher = ctx.start(&attacher_seat, move |ctx, _| {
+            ctx.attach(&child, &parent);
+        });
+        let mover = ctx.start(&mover_seat, move |ctx, _| {
+            // Let the attachment register first, then move the parent while
+            // the child's co-location transfer is still in flight.
+            ctx.sleep(SimTime::from_ms(1));
+            ctx.move_to(&parent, NodeId(3));
+        });
+        attacher.join(ctx);
+        mover.join(ctx);
+        let p_at = ctx.locate(&parent);
+        let c_at = ctx.locate(&child);
+        assert_eq!(
+            c_at, p_at,
+            "attached child stranded: parent at {p_at}, child at {c_at}"
+        );
+        // The attachment itself must have survived both moves intact: a
+        // further parent move still drags the child.
+        ctx.move_to(&parent, NodeId(0));
+        assert_eq!(ctx.locate(&child), NodeId(0));
+    })
+    .unwrap();
+}
+
+#[test]
+fn trace_reconciles_with_protocol_counters() {
+    // Exercise every protocol path with tracing on, then recompute the
+    // counters from the event stream alone: the two views must agree
+    // exactly, and the engine-level message events must match NetStats.
+    let c = sim(3, 2);
+    let sink = c.enable_tracing();
+    c.run(|ctx| {
+        let near = ctx.create(1u64);
+        let far = ctx.create_on(
+            NodeId(1),
+            Grid {
+                cells: vec![0.0; 64],
+            },
+        );
+        ctx.invoke(&near, |_, n| *n += 1); // local invoke
+        ctx.invoke(&far, |_, g| g.cells[0] = 1.0); // remote invoke + migration
+        ctx.move_to(&far, NodeId(2)); // object move
+        ctx.attach(&near, &far); // attach (internal move)
+        ctx.move_to(&far, NodeId(0)); // group move
+        ctx.unattach(&near);
+        let frozen = ctx.create(9u8);
+        ctx.set_immutable(&frozen);
+        ctx.move_to(&frozen, NodeId(1)); // replication
+        let h = ctx.start(&near, |_, n| *n); // thread start
+        h.join(ctx); // join
+        ctx.locate(&far); // locate probes (hops / home routes)
+        let gone = ctx.create(0u32);
+        ctx.destroy(gone); // destroy
+    })
+    .unwrap();
+    let events = sink.take();
+    assert!(!events.is_empty());
+    // Timestamps are monotone non-decreasing under the virtual clock.
+    for pair in events.windows(2) {
+        assert!(pair[0].at <= pair[1].at, "trace out of order");
+    }
+    let summary = crate::TraceSummary::from_events(&events);
+    assert_eq!(summary.snapshot, c.protocol_stats());
+    assert_eq!(summary.messages, c.net_stats().total_msgs());
+    assert_eq!(summary.message_bytes, c.net_stats().total_bytes());
+    // The stream is exportable as Chrome-trace JSON.
+    let json = amber_engine::trace::chrome_trace_json(&events);
+    assert!(json.contains("\"traceEvents\""));
+    assert!(json.contains("object_move"));
+}
+
+#[test]
+fn null_sink_records_nothing_and_stops_cleanly() {
+    let c = sim(2, 1);
+    // No sink installed: the run must behave identically (covered by every
+    // other test); here we check enable/disable round-trips.
+    let sink = c.enable_tracing();
+    assert!(c.disable_tracing().is_some());
+    c.run(|ctx| {
+        let v = ctx.create_on(NodeId(1), 0u64);
+        ctx.invoke(&v, |_, v| *v += 1);
+    })
+    .unwrap();
+    assert!(
+        sink.is_empty(),
+        "events recorded after tracing was disabled"
+    );
 }

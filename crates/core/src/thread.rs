@@ -76,6 +76,7 @@ impl<R: Send + Sync + 'static> JoinHandle<R> {
             match outcome {
                 Some(r) => {
                     ProtocolStats::bump(&kernel.pstats.joins);
+                    kernel.trace(|| amber_engine::ProtocolEvent::Join { thread: self.tid });
                     return r;
                 }
                 None => kernel.park("join"),
@@ -136,6 +137,10 @@ impl Kernel {
                 kernel.unregister_thread(tid);
             }),
         );
+        self.trace(|| amber_engine::ProtocolEvent::ThreadStart {
+            thread: tid,
+            node: here,
+        });
         JoinHandle {
             obj: thread_obj,
             tid,

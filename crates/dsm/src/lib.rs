@@ -157,12 +157,7 @@ impl Dsm {
     /// # Panics
     ///
     /// Panics if `pages` or `page_size` is zero.
-    pub fn with_policy(
-        ctx: &Ctx,
-        pages: usize,
-        page_size: usize,
-        policy: ManagerPolicy,
-    ) -> Dsm {
+    pub fn with_policy(ctx: &Ctx, pages: usize, page_size: usize, policy: ManagerPolicy) -> Dsm {
         assert!(pages > 0 && page_size > 0, "empty DSM");
         let nodes = ctx.nodes();
         let meta = (0..pages)
@@ -296,11 +291,17 @@ impl Dsm {
                 // (each leg skipped when the roles coincide).
                 if here != manager {
                     ctx.net_wait(here, manager, CONTROL_BYTES, "dsm-fault-request");
-                    self.inner.counters.locate_hops.fetch_add(1, Ordering::Relaxed);
+                    self.inner
+                        .counters
+                        .locate_hops
+                        .fetch_add(1, Ordering::Relaxed);
                 }
                 if manager != owner {
                     ctx.net_wait(manager, owner, CONTROL_BYTES, "dsm-fault-forward");
-                    self.inner.counters.locate_hops.fetch_add(1, Ordering::Relaxed);
+                    self.inner
+                        .counters
+                        .locate_hops
+                        .fetch_add(1, Ordering::Relaxed);
                 }
             }
             ManagerPolicy::Dynamic => {
@@ -317,13 +318,18 @@ impl Dsm {
                         .unwrap_or(NodeId(0));
                     let next = if hint == cur { owner } else { hint };
                     ctx.net_wait(cur, next, CONTROL_BYTES, "dsm-probowner-hop");
-                    self.inner.counters.locate_hops.fetch_add(1, Ordering::Relaxed);
+                    self.inner
+                        .counters
+                        .locate_hops
+                        .fetch_add(1, Ordering::Relaxed);
                     visited.push(next);
                     cur = next;
                 }
                 let outcome = if want_write { here } else { owner };
                 for v in visited {
-                    self.inner.prob_owner[v.index()].lock().insert(page, outcome);
+                    self.inner.prob_owner[v.index()]
+                        .lock()
+                        .insert(page, outcome);
                 }
             }
         }
@@ -371,7 +377,9 @@ impl Dsm {
             drop(m);
             if self.inner.policy == ManagerPolicy::Dynamic {
                 // The old owner learns where the page went.
-                self.inner.prob_owner[owner.index()].lock().insert(page, here);
+                self.inner.prob_owner[owner.index()]
+                    .lock()
+                    .insert(page, here);
             }
         } else {
             c.read_faults.fetch_add(1, Ordering::Relaxed);
@@ -534,7 +542,7 @@ mod tests {
             .run(|ctx| {
                 let dsm = Dsm::new(ctx, 1, 128);
                 dsm.write_u64(ctx, 0, 1); // node 0 owns, writes locally
-                // Two remote readers replicate the page.
+                                          // Two remote readers replicate the page.
                 for i in 1..3u16 {
                     let d = dsm.clone();
                     let a = ctx.create_on(NodeId(i), 0u8);

@@ -213,7 +213,10 @@ mod tests {
             per_byte: SimTime::from_ns(800),
         };
         assert_eq!(m.latency(0), SimTime::from_us(100));
-        assert_eq!(m.latency(1000), SimTime::from_us(100) + SimTime::from_us(800));
+        assert_eq!(
+            m.latency(1000),
+            SimTime::from_us(100) + SimTime::from_us(800)
+        );
     }
 
     #[test]

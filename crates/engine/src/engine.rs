@@ -19,6 +19,7 @@ use crate::ids::{NodeId, ThreadId};
 use crate::policy::{PolicyKind, Scheduler};
 use crate::stats::NetStats;
 use crate::time::SimTime;
+use crate::trace::Tracer;
 use crate::LatencyModel;
 
 /// The body of an Amber thread.
@@ -230,6 +231,12 @@ pub trait Engine: Send + Sync {
 
     /// Cluster-wide network and scheduling statistics.
     fn stats(&self) -> &Arc<NetStats>;
+
+    /// The engine's protocol-event tracer. Disabled (a null sink behind one
+    /// atomic check) until a [`crate::trace::TraceSink`] is installed; the
+    /// runtime layers above emit [`crate::trace::ProtocolEvent`]s through
+    /// it, and the engine itself records every message send.
+    fn tracer(&self) -> &Tracer;
 
     /// Runs `body` as the program's main thread on `node` and waits until
     /// *every* Amber thread has terminated.

@@ -45,6 +45,7 @@ mod time;
 
 pub mod policy;
 pub mod stats;
+pub mod trace;
 
 pub use cost::{CostModel, LatencyModel};
 pub use engine::{
@@ -57,3 +58,4 @@ pub use real::RealEngine;
 pub use sim::SimEngine;
 pub use stats::NetStats;
 pub use time::SimTime;
+pub use trace::{MemorySink, ProtocolEvent, TraceRecord, TraceSink, Tracer};

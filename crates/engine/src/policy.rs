@@ -187,9 +187,10 @@ impl Scheduler for RoundRobin {
 }
 
 /// Built-in policy selector for cluster configuration.
-#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
 pub enum PolicyKind {
     /// [`Fifo`].
+    #[default]
     Fifo,
     /// [`Lifo`].
     Lifo,
@@ -208,12 +209,6 @@ impl PolicyKind {
             PolicyKind::Priority => Box::<Priority>::default(),
             PolicyKind::RoundRobin(q) => Box::new(RoundRobin::new(q)),
         }
-    }
-}
-
-impl Default for PolicyKind {
-    fn default() -> Self {
-        PolicyKind::Fifo
     }
 }
 

@@ -38,6 +38,7 @@ use crate::ids::{NodeId, ThreadId};
 use crate::policy::Scheduler;
 use crate::stats::NetStats;
 use crate::time::SimTime;
+use crate::trace::Tracer;
 use crate::LatencyModel;
 
 struct RealNode {
@@ -147,6 +148,7 @@ struct RealInner {
     stats: Arc<NetStats>,
     latency: LatencyModel,
     epoch: Instant,
+    tracer: Tracer,
 }
 
 /// Wall-clock engine over real OS threads. See the module docs.
@@ -187,6 +189,7 @@ impl RealEngine {
             stats,
             latency: spec.latency,
             epoch: Instant::now(),
+            tracer: Tracer::new(),
         });
         let net_inner = Arc::clone(&inner);
         std::thread::Builder::new()
@@ -237,10 +240,7 @@ fn net_loop(inner: &Arc<RealInner>) {
                     None => {
                         // Re-check shutdown every 50 ms so the thread exits
                         // promptly once the run ends.
-                        inner
-                            .net
-                            .cv
-                            .wait_for(&mut heap, Duration::from_millis(50));
+                        inner.net.cv.wait_for(&mut heap, Duration::from_millis(50));
                     }
                     Some(Reverse(head)) => {
                         let now = Instant::now();
@@ -379,7 +379,14 @@ impl Engine for RealEngine {
     }
 
     fn send(&self, from: NodeId, to: NodeId, bytes: usize, handler: KernelFn) {
-        self.inner.stats.record_send(from.index(), to.index(), bytes);
+        self.inner
+            .stats
+            .record_send(from.index(), to.index(), bytes);
+        self.inner
+            .tracer
+            .emit(self.now(), crate::engine::current_thread(), || {
+                crate::trace::ProtocolEvent::MessageSend { from, to, bytes }
+            });
         let delay = self.inner.latency.latency(bytes).to_duration();
         let seq = {
             let mut s = self.inner.net_seq.lock();
@@ -416,10 +423,17 @@ impl Engine for RealEngine {
         &self.inner.stats
     }
 
+    fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
+    }
+
     fn run_boxed(&self, node: NodeId, body: ThreadBody) -> Result<(), EngineError> {
         {
             let mut live = self.inner.live.lock();
-            assert!(!live.started, "RealEngine::run_boxed may only be called once");
+            assert!(
+                !live.started,
+                "RealEngine::run_boxed may only be called once"
+            );
             live.started = true;
         }
         self.spawn(node, "main".to_string(), body);
@@ -438,11 +452,7 @@ impl Engine for RealEngine {
                     match left {
                         None => return Err(EngineError::Timeout),
                         Some(left) => {
-                            if self
-                                .inner
-                                .done_cv
-                                .wait_for(&mut live, left)
-                                .timed_out()
+                            if self.inner.done_cv.wait_for(&mut live, left).timed_out()
                                 && live.count > 0
                                 && live.error.is_none()
                             {

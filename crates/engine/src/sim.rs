@@ -36,6 +36,7 @@ use crate::ids::{NodeId, ThreadId};
 use crate::policy::Scheduler;
 use crate::stats::NetStats;
 use crate::time::SimTime;
+use crate::trace::Tracer;
 use crate::LatencyModel;
 
 /// Wake class of a blocked thread (see `Engine::block_kernel`).
@@ -127,6 +128,7 @@ struct SimInner {
     done_cv: Condvar,
     stats: Arc<NetStats>,
     latency: LatencyModel,
+    tracer: Tracer,
 }
 
 /// Deterministic virtual-time engine. See the module docs.
@@ -167,6 +169,7 @@ impl SimEngine {
                 done_cv: Condvar::new(),
                 stats,
                 latency: spec.latency,
+                tracer: Tracer::new(),
             }),
         }
     }
@@ -400,10 +403,7 @@ impl Engine for SimEngine {
         let tid;
         {
             let mut st = self.inner.state.lock();
-            assert!(
-                node.index() < st.nodes.len(),
-                "spawn on nonexistent {node}"
-            );
+            assert!(node.index() < st.nodes.len(), "spawn on nonexistent {node}");
             tid = ThreadId(st.next_tid);
             st.next_tid += 1;
             st.live += 1;
@@ -522,6 +522,11 @@ impl Engine for SimEngine {
         self.inner
             .stats
             .record_send(from.index(), to.index(), bytes);
+        self.inner
+            .tracer
+            .emit(st.clock, crate::engine::current_thread(), || {
+                crate::trace::ProtocolEvent::MessageSend { from, to, bytes }
+            });
         let delay = self.inner.latency.latency(bytes);
         let at = st.clock + delay;
         st.push_event(at, Event::Deliver { handler });
@@ -552,6 +557,10 @@ impl Engine for SimEngine {
 
     fn stats(&self) -> &Arc<NetStats> {
         &self.inner.stats
+    }
+
+    fn tracer(&self) -> &Tracer {
+        &self.inner.tracer
     }
 
     fn run_boxed(&self, node: NodeId, body: ThreadBody) -> Result<(), EngineError> {
@@ -684,12 +693,7 @@ mod tests {
                 let t0 = e2.now();
                 let me = must_current_thread();
                 let e3 = Arc::clone(&e2);
-                e2.send(
-                    NodeId(0),
-                    NodeId(1),
-                    128,
-                    Box::new(move || e3.unblock(me)),
-                );
+                e2.send(NodeId(0), NodeId(1), 128, Box::new(move || e3.unblock(me)));
                 e2.block_current("await-echo");
                 e2.now() - t0
             })
@@ -718,10 +722,7 @@ mod tests {
     #[test]
     fn panic_in_thread_is_reported() {
         let e = sim(1, 1);
-        let err = e
-            .run(NodeId(0), || panic!("boom"))
-            .map(|()| ())
-            .unwrap_err();
+        let err = e.run(NodeId(0), || panic!("boom")).unwrap_err();
         match err {
             EngineError::Panic { message, .. } => assert!(message.contains("boom")),
             other => panic!("expected panic error, got {other}"),
@@ -810,9 +811,14 @@ mod tests {
                                 e3.work(SimTime::from_us(100 * (i + 1)));
                                 let e4 = Arc::clone(&e3);
                                 let dst = NodeId(((i + 1) % 4) as u16);
-                                e3.send(NodeId((i % 4) as u16), dst, 64, Box::new(move || {
-                                    let _ = e4.now();
-                                }));
+                                e3.send(
+                                    NodeId((i % 4) as u16),
+                                    dst,
+                                    64,
+                                    Box::new(move || {
+                                        let _ = e4.now();
+                                    }),
+                                );
                             }),
                         );
                     }

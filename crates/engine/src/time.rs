@@ -118,7 +118,10 @@ impl SimTime {
 
     /// Scales the duration by a non-negative factor, rounding to nanoseconds.
     pub fn scale(self, factor: f64) -> SimTime {
-        debug_assert!(factor >= 0.0, "negative scale factors are not representable");
+        debug_assert!(
+            factor >= 0.0,
+            "negative scale factors are not representable"
+        );
         SimTime((self.0 as f64 * factor).round() as u64)
     }
 

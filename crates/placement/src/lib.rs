@@ -280,7 +280,14 @@ mod tests {
             let locations: Vec<_> = objs.iter().map(|o| ctx.locate(o)).collect();
             assert_eq!(
                 locations,
-                vec![NodeId(0), NodeId(1), NodeId(2), NodeId(0), NodeId(1), NodeId(2)]
+                vec![
+                    NodeId(0),
+                    NodeId(1),
+                    NodeId(2),
+                    NodeId(0),
+                    NodeId(1),
+                    NodeId(2)
+                ]
             );
         })
         .unwrap();
@@ -323,7 +330,15 @@ mod tests {
             .run(|ctx| {
                 let mut p = RoundRobin::new();
                 let arr = ObjectArray::scatter(ctx, &mut p, 10, |i| i as u64);
-                arr.reduce(ctx, |ctx, v, _| { ctx.work(SimTime::from_us(100)); *v }, 0u64, |a, r| a + r)
+                arr.reduce(
+                    ctx,
+                    |ctx, v, _| {
+                        ctx.work(SimTime::from_us(100));
+                        *v
+                    },
+                    0u64,
+                    |a, r| a + r,
+                )
             })
             .unwrap();
         assert_eq!(total, 45);
@@ -342,7 +357,10 @@ mod tests {
             let mut p2 = RoundRobin::new();
             arr.rebalance(ctx, &mut p2);
             let locs: Vec<_> = arr.refs().iter().map(|r| ctx.locate(r)).collect();
-            assert_eq!(locs, vec![NodeId(0), NodeId(1), NodeId(2), NodeId(0), NodeId(1)]);
+            assert_eq!(
+                locs,
+                vec![NodeId(0), NodeId(1), NodeId(2), NodeId(0), NodeId(1)]
+            );
         })
         .unwrap();
     }

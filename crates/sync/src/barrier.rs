@@ -76,7 +76,7 @@ impl Barrier {
             return true;
         }
         loop {
-            let passed = ctx.invoke_shared(&self.state, move |_, b| b.generation >= my_gen + 1);
+            let passed = ctx.invoke_shared(&self.state, move |_, b| b.generation > my_gen);
             if passed {
                 return false;
             }

@@ -32,7 +32,9 @@ pub struct Monitor {
 impl Monitor {
     /// Creates a monitor on the calling thread's node.
     pub fn new(ctx: &Ctx) -> Monitor {
-        Monitor { lock: Lock::new(ctx) }
+        Monitor {
+            lock: Lock::new(ctx),
+        }
     }
 
     /// Enters the monitor (acquires its mutex).

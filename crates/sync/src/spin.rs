@@ -167,6 +167,9 @@ mod tests {
                 spinner.join(ctx)
             })
             .unwrap();
-        assert!(waited >= SimTime::from_ms(1), "spin time invisible: {waited}");
+        assert!(
+            waited >= SimTime::from_ms(1),
+            "spin time invisible: {waited}"
+        );
     }
 }

@@ -108,7 +108,13 @@ impl NodeHeap {
             let left = REGION_BYTES - off;
             if left >= ALIGN {
                 let addr = r.base().offset(off);
-                self.blocks.insert(addr, Block { size: left, live: false });
+                self.blocks.insert(
+                    addr,
+                    Block {
+                        size: left,
+                        live: false,
+                    },
+                );
                 self.free.entry(left).or_default().push_back(addr);
             }
             self.retired.push(r);
@@ -128,18 +134,17 @@ impl NodeHeap {
         }
         // First fit from the free pool: the smallest free block that is
         // large enough, reused whole.
-        let fit = self
-            .free
-            .range(size..)
-            .next()
-            .map(|(s, _)| *s);
+        let fit = self.free.range(size..).next().map(|(s, _)| *s);
         if let Some(block_size) = fit {
             let queue = self.free.get_mut(&block_size).expect("size class vanished");
             let addr = queue.pop_front().expect("empty size class left behind");
             if queue.is_empty() {
                 self.free.remove(&block_size);
             }
-            let b = self.blocks.get_mut(&addr).expect("free block without identity");
+            let b = self
+                .blocks
+                .get_mut(&addr)
+                .expect("free block without identity");
             debug_assert!(!b.live, "free list held a live block");
             b.live = true;
             self.live_bytes += b.size;

@@ -22,6 +22,10 @@ fn main() {
         r.total,
         p.accounts as i64 * p.initial
     );
-    assert_eq!(r.total, p.accounts as i64 * p.initial, "invariant violated!");
+    assert_eq!(
+        r.total,
+        p.accounts as i64 * p.initial,
+        "invariant violated!"
+    );
     println!("invariant holds: money is conserved");
 }

@@ -58,13 +58,12 @@ fn main() {
                 .iter()
                 .map(|&ms| {
                     let anchor = ctx.create(0u8);
-                    let h = ctx.start(&anchor, move |ctx, _| {
+                    ctx.start(&anchor, move |ctx, _| {
                         ctx.set_priority(-(ms as i32)); // negated burst = SJF
                         ctx.work(SimTime::from_ms(ms));
                         let t = ctx.now().as_ms();
                         ctx.invoke(&order, move |_, o| o.push((ms, t)));
-                    });
-                    h
+                    })
                 })
                 .collect();
             for h in hs {

@@ -59,9 +59,7 @@ fn main() {
     {
         let c = Cluster::sim(4, 1);
         c.run(|ctx| {
-            let counters: Vec<_> = (0..4u16)
-                .map(|i| ctx.create_on(NodeId(i), 0u64))
-                .collect();
+            let counters: Vec<_> = (0..4u16).map(|i| ctx.create_on(NodeId(i), 0u64)).collect();
             let anchors: Vec<_> = (0..4u16).map(|i| ctx.create_on(NodeId(i), 0u8)).collect();
             let (m0, _) = ctx.net_totals();
             let hs: Vec<_> = (0..4)
@@ -78,7 +76,10 @@ fn main() {
                 h.join(ctx);
             }
             let (m1, _) = ctx.net_totals();
-            println!("amber: private objects         -> {} msgs for the updates", m1 - m0);
+            println!(
+                "amber: private objects         -> {} msgs for the updates",
+                m1 - m0
+            );
         })
         .unwrap();
     }
@@ -104,7 +105,10 @@ fn main() {
                 h.join(ctx);
             }
             let (m1, _) = ctx.net_totals();
-            println!("dsm:   one packed page         -> {} msgs (artificial sharing)", m1 - m0);
+            println!(
+                "dsm:   one packed page         -> {} msgs (artificial sharing)",
+                m1 - m0
+            );
         })
         .unwrap();
     }

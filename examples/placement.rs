@@ -44,7 +44,10 @@ fn main() {
             arr.rebalance(ctx, &mut rr);
             println!(
                 "rebalanced: {:?}",
-                arr.refs().iter().map(|r| ctx.locate(r).index()).collect::<Vec<_>>()
+                arr.refs()
+                    .iter()
+                    .map(|r| ctx.locate(r).index())
+                    .collect::<Vec<_>>()
             );
         })
         .expect("placement example failed");

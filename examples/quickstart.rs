@@ -45,9 +45,12 @@ fn main() {
             println!("\n== threads: Start and Join ==");
             let workers: Vec<_> = (0..4)
                 .map(|i| {
-                    let target = ctx.create_on(NodeId(i), Sensor {
-                        readings: vec![i as f64],
-                    });
+                    let target = ctx.create_on(
+                        NodeId(i),
+                        Sensor {
+                            readings: vec![i as f64],
+                        },
+                    );
                     ctx.start(&target, move |ctx, s| {
                         ctx.work(SimTime::from_ms(2)); // some computation
                         s.readings.iter().sum::<f64>() * 10.0
@@ -79,8 +82,11 @@ fn main() {
             println!(
                 "invocations: {} local, {} remote; thread migrations: {}; \
                  object moves: {}; replications: {}",
-                p.local_invokes, p.remote_invokes, p.thread_migrations,
-                p.object_moves, p.replications
+                p.local_invokes,
+                p.remote_invokes,
+                p.thread_migrations,
+                p.object_moves,
+                p.replications
             );
         })
         .expect("quickstart failed");

@@ -12,8 +12,10 @@ fn main() {
     let optimal = tsp_sequential(&seq_params);
     println!("sequential optimum: {optimal}");
 
-    for (label, sync_every) in [("check shared bound every expansion", 1usize),
-                                ("sync bound every 100 expansions  ", 100)] {
+    for (label, sync_every) in [
+        ("check shared bound every expansion", 1usize),
+        ("sync bound every 100 expansions  ", 100),
+    ] {
         let mut p = TspParams::small(4, sync_every);
         p.cities = 8; // keep the every-expansion variant quick
         let r = run_tsp(p);

@@ -155,6 +155,66 @@ proptest! {
         .unwrap();
     }
 
+    /// The event trace is a faithful ledger: over an arbitrary mixed
+    /// workload, counters recomputed from the captured events alone agree
+    /// with the runtime's live `ProtocolStats` counter for counter, and the
+    /// message events agree with the engine's `NetStats`.
+    #[test]
+    fn trace_summary_reconciles_with_counters(
+        ops in proptest::collection::vec((0usize..7, 0usize..4, 0u16..4), 1..25)
+    ) {
+        let c = Cluster::sim(4, 2);
+        let sink = c.enable_tracing();
+        let run_ops = ops.clone();
+        c.run(move |ctx| {
+            let pool: Vec<_> = (0..4)
+                .map(|i| ctx.create_on(NodeId((i % 4) as u16), i as u64))
+                .collect();
+            for (kind, i, n) in run_ops {
+                let obj = pool[i];
+                let node = NodeId(n);
+                match kind {
+                    0 => {
+                        ctx.invoke(&obj, |_, v| *v += 1);
+                    }
+                    1 => {
+                        ctx.invoke_shared(&obj, |_, v| *v);
+                    }
+                    2 => ctx.move_to(&obj, node),
+                    3 => {
+                        ctx.locate(&obj);
+                    }
+                    4 => {
+                        let h = ctx.start(&obj, |_, v| *v);
+                        h.join(ctx);
+                    }
+                    5 => {
+                        // Attach a fresh child, drag it along one move,
+                        // then release it back into ordinary life.
+                        let child = ctx.create_on(node, 0u64);
+                        ctx.attach(&child, &obj);
+                        ctx.move_to(&obj, node);
+                        assert_eq!(ctx.locate(&child), ctx.locate(&obj));
+                        ctx.unattach(&child);
+                    }
+                    _ => {
+                        // Immutable replication path.
+                        let frozen = ctx.create(7u8);
+                        ctx.set_immutable(&frozen);
+                        ctx.move_to(&frozen, node);
+                        ctx.invoke_shared(&frozen, |_, v| *v);
+                    }
+                }
+            }
+        })
+        .unwrap();
+        let events = sink.take();
+        let summary = amber_core::TraceSummary::from_events(&events);
+        prop_assert_eq!(summary.snapshot, c.protocol_stats());
+        prop_assert_eq!(summary.messages, c.net_stats().total_msgs());
+        prop_assert_eq!(summary.message_bytes, c.net_stats().total_bytes());
+    }
+
     /// Attachment groups always co-locate, whatever the build order and
     /// wherever the root moves.
     #[test]

@@ -118,8 +118,6 @@ fn timeout_fires_on_a_hung_program() {
         .latency(LatencyModel::zero())
         .deadline(Duration::from_millis(200))
         .build();
-    let err = c
-        .run(|ctx| ctx.park("never-woken"))
-        .unwrap_err();
+    let err = c.run(|ctx| ctx.park("never-woken")).unwrap_err();
     assert_eq!(err, amber_core::EngineError::Timeout);
 }
