@@ -1,0 +1,65 @@
+//! Invoke-throughput baseline on the real engine.
+//!
+//! Measures wall-clock ops/sec of the kernel hot paths (local invoke, and a
+//! mixed invoke/locate/move blend) on `RealEngine` at 1/2/4/8 nodes, then
+//! merges the numbers into `BENCH_throughput.json` under a kernel label.
+//!
+//! Environment switches:
+//!
+//! * `AMBER_KERNEL_LABEL` — label this run is stored under (default
+//!   `current`); the baseline commit was recorded as `global-lock`.
+//! * `AMBER_THROUGHPUT_ITERS` — per-worker local-invoke iterations
+//!   (default 20000; the mixed scenario runs a tenth of that).
+//! * `AMBER_BENCH_OUT` — output path (default `BENCH_throughput.json`).
+//!   CI's smoke run points this at a scratch file.
+
+use amber_bench::throughput::{run_local_invoke, run_mixed, write_merged, NODE_COUNTS};
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() {
+    let label = std::env::var("AMBER_KERNEL_LABEL").unwrap_or_else(|_| "current".to_string());
+    let iters = env_u64("AMBER_THROUGHPUT_ITERS", 20_000);
+    let mixed_iters = (iters / 10).max(10);
+    let out = std::env::var("AMBER_BENCH_OUT").unwrap_or_else(|_| "BENCH_throughput.json".into());
+
+    let mut points = Vec::new();
+    let mut rows = Vec::new();
+    for &n in &NODE_COUNTS {
+        let p = run_local_invoke(n, iters);
+        rows.push(vec![
+            p.scenario.to_string(),
+            n.to_string(),
+            p.ops.to_string(),
+            format!("{:.1} ms", p.elapsed.as_secs_f64() * 1e3),
+            format!("{:.0}", p.ops_per_sec()),
+        ]);
+        points.push(p);
+        let p = run_mixed(n, mixed_iters);
+        rows.push(vec![
+            p.scenario.to_string(),
+            n.to_string(),
+            p.ops.to_string(),
+            format!("{:.1} ms", p.elapsed.as_secs_f64() * 1e3),
+            format!("{:.0}", p.ops_per_sec()),
+        ]);
+        points.push(p);
+    }
+
+    amber_bench::print_table(
+        &format!("Invoke throughput (RealEngine, kernel = {label})"),
+        &["scenario", "nodes", "ops", "elapsed", "ops/sec"],
+        &rows,
+    );
+
+    let path = std::path::PathBuf::from(out);
+    match write_merged(&path, &label, &points) {
+        Ok(()) => println!("\nwrote {}", path.display()),
+        Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
+    }
+}

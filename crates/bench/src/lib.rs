@@ -11,6 +11,7 @@ pub mod ablate;
 pub mod dump;
 pub mod ops;
 pub mod sorbench;
+pub mod throughput;
 
 /// Prints a header followed by aligned rows (simple fixed-width table).
 pub fn print_table(title: &str, header: &[&str], rows: &[Vec<String>]) {

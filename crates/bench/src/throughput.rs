@@ -1,0 +1,325 @@
+//! Invoke-throughput measurement on the real engine.
+//!
+//! Every other experiment in this crate runs on the virtual clock, where
+//! kernel lock contention is invisible (the simulator's baton serializes
+//! everything). This module measures the opposite: wall-clock operations
+//! per second of the runtime's hot paths on [`RealEngine`] OS threads,
+//! where the kernel's own locking *is* the cost being measured. It backs
+//! `BENCH_throughput.json`, the perf-trajectory baseline for the kernel.
+//!
+//! Two scenarios, each at 1/2/4/8 nodes:
+//!
+//! * `local_invoke` — one worker thread per node hammering exclusive
+//!   invocations of a private, node-local counter object. The pure fast
+//!   path: no migration, no messages; only descriptor reads, registry
+//!   visits and payload admission.
+//! * `mixed` — per-node workers interleaving local invokes with `Locate`
+//!   probes of a neighbour's object and `MoveTo` round trips of a private
+//!   "ball" object, under a zero-latency network so the numbers measure
+//!   kernel mechanism, not modelled wire time.
+//!
+//! [`RealEngine`]: amber_engine::RealEngine
+
+use std::time::{Duration, Instant};
+
+use amber_core::{Cluster, EngineChoice, LatencyModel, NodeId};
+
+/// One measured configuration.
+#[derive(Clone, Debug)]
+pub struct Point {
+    /// Scenario name (`local_invoke` or `mixed`).
+    pub scenario: &'static str,
+    /// Cluster size.
+    pub nodes: usize,
+    /// Worker threads driving operations (one per node).
+    pub workers: usize,
+    /// Total operations completed across all workers.
+    pub ops: u64,
+    /// Wall-clock time for the operation phase only.
+    pub elapsed: Duration,
+}
+
+impl Point {
+    /// Operations per wall-clock second.
+    pub fn ops_per_sec(&self) -> f64 {
+        let secs = self.elapsed.as_secs_f64();
+        if secs > 0.0 {
+            self.ops as f64 / secs
+        } else {
+            f64::INFINITY
+        }
+    }
+}
+
+/// Node counts every scenario is measured at.
+pub const NODE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+fn real_cluster(nodes: usize) -> Cluster {
+    Cluster::builder()
+        .nodes(nodes)
+        .processors(2)
+        .engine(EngineChoice::Real)
+        .latency(LatencyModel::zero())
+        .deadline(Duration::from_secs(300))
+        .build()
+}
+
+/// Pure local-invoke throughput: one worker per node, each with a private
+/// counter on its own node.
+pub fn run_local_invoke(nodes: usize, iters: u64) -> Point {
+    let cluster = real_cluster(nodes);
+    let (ops, elapsed) = cluster
+        .run(move |ctx| {
+            let n = ctx.nodes();
+            // A per-node anchor pins each worker to its node; a per-node
+            // counter gives it a resident object to invoke.
+            let work: Vec<_> = (0..n)
+                .map(|k| {
+                    let node = NodeId::from(k);
+                    (ctx.create_on(node, 0u8), ctx.create_on(node, 0u64))
+                })
+                .collect();
+            let t0 = Instant::now();
+            let hs: Vec<_> = work
+                .iter()
+                .map(|&(anchor, counter)| {
+                    ctx.start(&anchor, move |ctx, _| {
+                        for _ in 0..iters {
+                            ctx.invoke(&counter, |_, c| *c += 1);
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join(ctx);
+            }
+            let elapsed = t0.elapsed();
+            let total: u64 = work.iter().map(|(_, c)| ctx.invoke(c, |_, c| *c)).sum();
+            assert_eq!(total, iters * n as u64, "lost invocations");
+            (total, elapsed)
+        })
+        .expect("local-invoke bench run failed");
+    Point {
+        scenario: "local_invoke",
+        nodes,
+        workers: nodes,
+        ops,
+        elapsed,
+    }
+}
+
+/// Mixed workload: per node-worker, a deterministic interleaving of local
+/// invokes (7/10), `Locate` of the next node's counter (2/10) and `MoveTo`
+/// of a private ball object to the next node and back (1/10).
+pub fn run_mixed(nodes: usize, iters: u64) -> Point {
+    let cluster = real_cluster(nodes);
+    let (ops, elapsed) = cluster
+        .run(move |ctx| {
+            let n = ctx.nodes();
+            let work: Vec<_> = (0..n)
+                .map(|k| {
+                    let node = NodeId::from(k);
+                    (
+                        ctx.create_on(node, 0u8),
+                        ctx.create_on(node, 0u64),
+                        ctx.create_on(node, [0u8; 32]),
+                    )
+                })
+                .collect();
+            let counters: Vec<_> = work.iter().map(|&(_, c, _)| c).collect();
+            let t0 = Instant::now();
+            let hs: Vec<_> = work
+                .iter()
+                .enumerate()
+                .map(|(k, &(anchor, counter, ball))| {
+                    let peer = counters[(k + 1) % n];
+                    let home = NodeId::from(k);
+                    let away = NodeId::from((k + 1) % n);
+                    ctx.start(&anchor, move |ctx, _| {
+                        for i in 0..iters {
+                            match i % 10 {
+                                0 => {
+                                    ctx.move_to(&ball, away);
+                                    ctx.move_to(&ball, home);
+                                }
+                                1 | 2 => {
+                                    ctx.locate(&peer);
+                                }
+                                _ => {
+                                    ctx.invoke(&counter, |_, c| *c += 1);
+                                }
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join(ctx);
+            }
+            let elapsed = t0.elapsed();
+            (iters * n as u64, elapsed)
+        })
+        .expect("mixed bench run failed");
+    Point {
+        scenario: "mixed",
+        nodes,
+        workers: nodes,
+        ops,
+        elapsed,
+    }
+}
+
+/// Renders one run (a label plus its points) as the JSON object stored
+/// under `runs.<label>` in `BENCH_throughput.json`.
+pub fn run_json(points: &[Point]) -> String {
+    let mut out = String::from("{\n      \"points\": [\n");
+    for (i, p) in points.iter().enumerate() {
+        out.push_str(&format!(
+            "        {{\"scenario\":\"{}\",\"nodes\":{},\"workers\":{},\"ops\":{},\"elapsed_ns\":{},\"ops_per_sec\":{:.1}}}{}\n",
+            p.scenario,
+            p.nodes,
+            p.workers,
+            p.ops,
+            p.elapsed.as_nanos(),
+            p.ops_per_sec(),
+            if i + 1 < points.len() { "," } else { "" },
+        ));
+    }
+    out.push_str("      ]\n    }");
+    out
+}
+
+/// Extracts the existing `runs` entries (label → JSON object text) from a
+/// previously written `BENCH_throughput.json`, so a new run can merge in
+/// without a JSON parser. The format is fully controlled by
+/// [`write_merged`], so a targeted brace-matching scan is enough; anything
+/// unrecognized is dropped (the file is regenerable).
+pub fn existing_runs(body: &str) -> Vec<(String, String)> {
+    let mut runs = Vec::new();
+    let Some(start) = body.find("\"runs\"") else {
+        return runs;
+    };
+    let mut rest = &body[start..];
+    // Skip past the opening brace of the runs object.
+    let Some(open) = rest.find('{') else {
+        return runs;
+    };
+    rest = &rest[open + 1..];
+    while let Some(q0) = rest.find('"') {
+        let after = &rest[q0 + 1..];
+        let Some(q1) = after.find('"') else { break };
+        let label = after[..q1].to_string();
+        let after = &after[q1 + 1..];
+        let Some(obj_start) = after.find('{') else {
+            break;
+        };
+        // Brace-match the run object (no string literals contain braces in
+        // this format).
+        let mut depth = 0usize;
+        let mut end = None;
+        for (i, c) in after[obj_start..].char_indices() {
+            match c {
+                '{' => depth += 1,
+                '}' => {
+                    depth -= 1;
+                    if depth == 0 {
+                        end = Some(obj_start + i + 1);
+                        break;
+                    }
+                }
+                _ => {}
+            }
+        }
+        let Some(end) = end else { break };
+        runs.push((label, after[obj_start..end].to_string()));
+        rest = &after[end..];
+        // A top-level '}' before the next '"' ends the runs object.
+        match (rest.find('"'), rest.find('}')) {
+            (Some(q), Some(b)) if b < q => break,
+            (None, _) => break,
+            _ => {}
+        }
+    }
+    runs
+}
+
+/// Writes `BENCH_throughput.json`: this run's points under `runs.<label>`,
+/// preserving any other labels already in the file (so a baseline recorded
+/// at an older commit survives re-measurement of the current kernel).
+pub fn write_merged(path: &std::path::Path, label: &str, points: &[Point]) -> std::io::Result<()> {
+    let mut runs: Vec<(String, String)> = std::fs::read_to_string(path)
+        .map(|body| existing_runs(&body))
+        .unwrap_or_default();
+    runs.retain(|(l, _)| l != label);
+    runs.push((label.to_string(), run_json(points)));
+    let mut body = String::from("{\n  \"bench\": \"invoke-throughput\",\n");
+    body.push_str(&format!(
+        "  \"host_cpus\": {},\n",
+        std::thread::available_parallelism().map_or(1, |p| p.get())
+    ));
+    body.push_str("  \"node_counts\": [1, 2, 4, 8],\n");
+    body.push_str("  \"runs\": {\n");
+    for (i, (l, obj)) in runs.iter().enumerate() {
+        body.push_str(&format!(
+            "    \"{}\": {}{}\n",
+            l,
+            obj,
+            if i + 1 < runs.len() { "," } else { "" }
+        ));
+    }
+    body.push_str("  }\n}\n");
+    std::fs::write(path, body)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn fake_point(nodes: usize) -> Point {
+        Point {
+            scenario: "local_invoke",
+            nodes,
+            workers: nodes,
+            ops: 100,
+            elapsed: Duration::from_millis(50),
+        }
+    }
+
+    #[test]
+    fn ops_per_sec_math() {
+        let p = fake_point(2);
+        assert!((p.ops_per_sec() - 2000.0).abs() < 1e-6);
+    }
+
+    #[test]
+    fn merge_preserves_other_labels() {
+        let dir = std::env::temp_dir().join(format!("amber-thr-{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("BENCH_throughput.json");
+        write_merged(&path, "baseline", &[fake_point(1), fake_point(2)]).unwrap();
+        write_merged(&path, "sharded", &[fake_point(4)]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert!(body.contains("\"baseline\""), "{body}");
+        assert!(body.contains("\"sharded\""), "{body}");
+        let runs = existing_runs(&body);
+        assert_eq!(runs.len(), 2, "{body}");
+        // Re-recording a label replaces it rather than duplicating.
+        write_merged(&path, "sharded", &[fake_point(8)]).unwrap();
+        let body = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(existing_runs(&body).len(), 2, "{body}");
+        assert!(body.contains("\"nodes\":8"), "{body}");
+        assert!(!body.contains("\"nodes\":4"), "{body}");
+        std::fs::remove_dir_all(&dir).ok();
+        // Braces balance so the file loads as JSON.
+        for (open, close) in [('{', '}'), ('[', ']')] {
+            assert_eq!(body.matches(open).count(), body.matches(close).count());
+        }
+    }
+
+    #[test]
+    fn tiny_local_invoke_run_counts_ops() {
+        let p = run_local_invoke(2, 25);
+        assert_eq!(p.ops, 50);
+        assert_eq!(p.nodes, 2);
+    }
+}

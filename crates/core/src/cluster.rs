@@ -245,19 +245,19 @@ impl Cluster {
     /// Intended for post-mortem inspection after a deadlock report.
     #[doc(hidden)]
     pub fn debug_admission(&self) -> Vec<(VAddr, Option<ThreadId>, u32, usize, bool)> {
-        let objects = self.kernel.objects.lock();
-        let mut v: Vec<_> = objects
-            .iter()
-            .map(|(a, e)| {
-                (
-                    *a,
-                    e.excl_owner,
-                    e.shared_count,
-                    e.op_waiters.len(),
-                    e.moving,
-                )
-            })
-            .collect();
+        // Copy the raw tuples shard by shard (one lock at a time) and sort
+        // afterwards: the dump never holds more than one registry shard, so
+        // it can run while the cluster is wedged on any of the others.
+        let mut v = Vec::new();
+        self.kernel.objects.for_each(|a, e| {
+            v.push((
+                a,
+                e.excl_owner,
+                e.shared_count,
+                e.op_waiters.len(),
+                e.moving,
+            ));
+        });
         v.sort_by_key(|(a, ..)| *a);
         v
     }

@@ -17,13 +17,19 @@
 //! Operations on a payload run under an access protocol (exclusive `&mut T`
 //! or shared `&T`) with kernel-managed waiter queues, standing in for the
 //! intra-node hardware synchronization of a real multiprocessor node.
+//!
+//! Locking on the fast path: frame bookkeeping goes through the calling
+//! thread's cached [`ThreadRec`](crate::registry::ThreadRec) (no shared
+//! map), object metadata through the address's single registry shard, and
+//! descriptor lookups through the node table's *read* lock. A local invoke
+//! contends with nothing but operations on objects in the same shard.
 
 use std::sync::Arc;
 
 use amber_engine::{must_current_thread, NodeId, ThreadId};
 use amber_vspace::{Residency, VAddr};
 
-use crate::kernel::{Access, Kernel, ObjectCell, OpWaiter, ThreadRec};
+use crate::kernel::{Access, Kernel, ObjectCell, OpWaiter};
 use crate::objref::ObjRef;
 use crate::stats::ProtocolStats;
 
@@ -31,59 +37,48 @@ impl Kernel {
     /// Registers a new thread record. Engines own scheduling state; this is
     /// the runtime's frame bookkeeping.
     pub(crate) fn register_thread(&self, tid: ThreadId) {
-        self.threads.lock().insert(
-            tid,
-            ThreadRec {
-                frames: Vec::new(),
-                carry_bytes: 0,
-            },
-        );
+        self.threads.register(tid);
     }
 
     /// Drops a finished thread's record.
     pub(crate) fn unregister_thread(&self, tid: ThreadId) {
-        self.threads.lock().remove(&tid);
+        self.threads.unregister(tid);
     }
 
-    fn push_frame(&self, tid: ThreadId, addr: VAddr) {
-        self.threads
-            .lock()
-            .get_mut(&tid)
-            .expect("frame push on unregistered thread")
-            .frames
-            .push(addr);
-        let mut objects = self.objects.lock();
-        if let Some(e) = objects.get_mut(&addr) {
-            *e.bound.entry(tid).or_insert(0) += 1;
-        }
-    }
-
-    fn pop_frame(&self, tid: ThreadId, addr: VAddr) {
-        let popped = self
+    /// Pushes the invocation frame and binds the thread to the object —
+    /// the section-3.5 "frame first" step — in one registry-shard visit.
+    /// Returns the object's immutability flag so callers need no second
+    /// visit to read it.
+    ///
+    /// # Panics
+    ///
+    /// Panics on references to destroyed objects.
+    fn bind_frame(&self, tid: ThreadId, addr: VAddr) -> bool {
+        let rec = self
             .threads
-            .lock()
-            .get_mut(&tid)
-            .expect("frame pop on unregistered thread")
-            .frames
-            .pop();
-        debug_assert_eq!(popped, Some(addr), "frame stack corrupted");
-        let mut objects = self.objects.lock();
-        if let Some(e) = objects.get_mut(&addr) {
-            if let Some(depth) = e.bound.get_mut(&tid) {
-                *depth -= 1;
-                if *depth == 0 {
-                    e.bound.remove(&tid);
-                }
-            }
+            .rec(tid)
+            .expect("frame push on unregistered thread");
+        rec.state.lock().frames.push(addr);
+        let mut shard = self.objects.lock(addr);
+        let e = shard
+            .get_mut(&addr)
+            .unwrap_or_else(|| panic!("reference to destroyed or unknown object {addr}"));
+        *e.bound.entry(tid).or_insert(0) += 1;
+        e.immutable
+    }
+
+    /// Sets the by-value argument bytes the next outbound migration carries.
+    fn set_carry(&self, tid: ThreadId, bytes: usize) {
+        if let Some(rec) = self.threads.rec(tid) {
+            rec.state.lock().carry_bytes = bytes;
         }
     }
 
     /// The object whose operation the current thread is executing, if any.
     pub(crate) fn enclosing_frame(&self, tid: ThreadId) -> Option<VAddr> {
         self.threads
-            .lock()
-            .get(&tid)
-            .and_then(|r| r.frames.last().copied())
+            .rec(tid)
+            .and_then(|r| r.state.lock().frames.last().copied())
     }
 
     /// Migrates the current thread one network hop, charging the full
@@ -94,9 +89,8 @@ impl Kernel {
         debug_assert_ne!(from, to);
         let carry = self
             .threads
-            .lock()
-            .get(&me)
-            .map(|r| r.carry_bytes)
+            .rec(me)
+            .map(|r| r.state.lock().carry_bytes)
             .unwrap_or(0);
         self.engine.work(self.cost.remote_trap);
         self.engine.work(self.cost.thread_marshal);
@@ -140,11 +134,11 @@ impl Kernel {
             // If a move of this object is in flight, wait for it to install
             // rather than chasing descriptors mid-transfer.
             {
-                let mut objects = self.objects.lock();
-                match objects.get_mut(&addr) {
+                let mut shard = self.objects.lock(addr);
+                match shard.get_mut(&addr) {
                     Some(e) if e.moving => {
                         e.move_waiters.push(me);
-                        drop(objects);
+                        drop(shard);
                         self.engine.block_kernel("await-move-install");
                         continue;
                     }
@@ -152,18 +146,24 @@ impl Kernel {
                     None => panic!("reference to destroyed or unknown object {addr}"),
                 }
             }
-            let desc = self.nodes[here.index()].descriptors.lock().lookup(addr);
+            let desc = self.nodes[here.index()].descriptors.read().lookup(addr);
             let next = match desc {
                 Some(Residency::Resident) => {
                     // "the object's last known location is cached on all
-                    // nodes along the chain" (section 3.3).
-                    for n in visited {
-                        if n != here {
-                            self.nodes[n.index()]
-                                .descriptors
-                                .lock()
-                                .cache_hint(addr, here);
+                    // nodes along the chain" (section 3.3). One write-lock
+                    // visit per *distinct* chain node: a chase that loops
+                    // through a node twice must not lock its table twice.
+                    let mut chain = Vec::with_capacity(visited.len());
+                    for n in &visited {
+                        if *n != here && !chain.contains(n) {
+                            chain.push(*n);
                         }
+                    }
+                    for n in chain {
+                        self.nodes[n.index()]
+                            .descriptors
+                            .write()
+                            .cache_hint(addr, here);
                     }
                     return here;
                 }
@@ -197,25 +197,21 @@ impl Kernel {
             };
             if next == here {
                 // A stale self-hint; consult ground truth to break the tie
-                // (the descriptor write that makes it fresh is in flight).
+                // (the descriptor write that makes it fresh is in flight),
+                // then repair in a single write-lock visit.
                 let loc = self
                     .objects
-                    .lock()
+                    .lock(addr)
                     .get(&addr)
                     .map(|e| e.location)
                     .expect("object vanished mid-chase");
+                let mut d = self.nodes[here.index()].descriptors.write();
                 if loc == here {
                     // Truly here but the descriptor lagged; repair it.
-                    self.nodes[here.index()]
-                        .descriptors
-                        .lock()
-                        .set_resident(addr);
-                    continue;
+                    d.set_resident(addr);
+                } else {
+                    d.cache_hint(addr, loc);
                 }
-                self.nodes[here.index()]
-                    .descriptors
-                    .lock()
-                    .cache_hint(addr, loc);
                 continue;
             }
             hops += 1;
@@ -239,7 +235,7 @@ impl Kernel {
             return;
         };
         let here = self.engine.node_of(me);
-        let local = self.nodes[here.index()].descriptors.lock().is_local(addr);
+        let local = self.nodes[here.index()].descriptors.read().is_local(addr);
         if !local {
             self.ensure_at_object(addr, true);
         }
@@ -250,8 +246,8 @@ impl Kernel {
     fn acquire_payload(&self, addr: VAddr, access: Access) -> Arc<ObjectCell> {
         let me = must_current_thread();
         loop {
-            let mut objects = self.objects.lock();
-            let e = objects
+            let mut shard = self.objects.lock(addr);
+            let e = shard
                 .get_mut(&addr)
                 .expect("invocation of destroyed object");
             assert_ne!(
@@ -282,51 +278,71 @@ impl Kernel {
             if !e.op_waiters.iter().any(|w| w.thread == me) {
                 e.op_waiters.push_back(OpWaiter { thread: me, access });
             }
-            drop(objects);
+            drop(shard);
             self.engine.block_kernel("object-op-wait");
             // Re-run the admission check (every park in the runtime is
             // predicate-guarded: wake-ups may be spurious).
         }
     }
 
-    /// Releases the payload and wakes every queued waiter; the woken
-    /// threads re-run the admission check and re-queue if they lose.
+    /// Releases the payload, unbinds the invocation frame, and wakes every
+    /// queued waiter — one registry-shard visit for the whole epilogue; the
+    /// woken threads re-run the admission check and re-queue if they lose.
     ///
     /// Waking everyone (rather than the exact admissible set) is the
     /// missed-wakeup-proof choice: threads can be woken spuriously for
     /// other reasons and re-register, so precise hand-off bookkeeping would
     /// have to chase stale entries.
-    fn release_payload(&self, addr: VAddr, access: Access) {
-        let mut objects = self.objects.lock();
-        let e = match objects.get_mut(&addr) {
-            Some(e) => e,
-            // Destroy during release cannot happen (destroy asserts idle),
-            // but be tolerant in release paths.
-            None => return,
-        };
-        match access {
-            Access::Exclusive => {
-                debug_assert_eq!(e.excl_owner, Some(must_current_thread()));
-                e.excl_owner = None;
-                // Refresh the wire size after mutation.
-                if let Some(data) = e.cell.data.try_read() {
-                    e.size = (e.size_fn)(&**data);
+    fn finish_invocation(&self, tid: ThreadId, addr: VAddr, access: Access) {
+        let to_wake: Vec<ThreadId> = {
+            let mut shard = self.objects.lock(addr);
+            match shard.get_mut(&addr) {
+                // Destroy during release cannot happen (destroy asserts
+                // idle), but be tolerant in release paths.
+                None => Vec::new(),
+                Some(e) => {
+                    match access {
+                        Access::Exclusive => {
+                            debug_assert_eq!(e.excl_owner, Some(tid));
+                            e.excl_owner = None;
+                            // Refresh the wire size after mutation.
+                            if let Some(data) = e.cell.data.try_read() {
+                                e.size = (e.size_fn)(&**data);
+                            }
+                        }
+                        Access::Shared => {
+                            debug_assert!(e.shared_count > 0);
+                            e.shared_count -= 1;
+                        }
+                    }
+                    if let Some(depth) = e.bound.get_mut(&tid) {
+                        *depth -= 1;
+                        if *depth == 0 {
+                            e.bound.remove(&tid);
+                        }
+                    }
+                    if e.shared_count > 0 {
+                        // Shared operations still draining; the last one
+                        // admits waiters.
+                        Vec::new()
+                    } else {
+                        e.op_waiters.drain(..).map(|w| w.thread).collect()
+                    }
                 }
             }
-            Access::Shared => {
-                debug_assert!(e.shared_count > 0);
-                e.shared_count -= 1;
-            }
-        }
-        if e.shared_count > 0 {
-            // Shared operations still draining; the last one admits waiters.
-            return;
-        }
-        let to_wake: Vec<ThreadId> = e.op_waiters.drain(..).map(|w| w.thread).collect();
-        drop(objects);
+        };
         for t in to_wake {
             self.engine.unblock_kernel(t);
         }
+        let popped = self
+            .threads
+            .rec(tid)
+            .expect("frame pop on unregistered thread")
+            .state
+            .lock()
+            .frames
+            .pop();
+        debug_assert_eq!(popped, Some(addr), "frame stack corrupted");
     }
 
     /// Exclusive invocation: `op` receives `&mut T`.
@@ -357,28 +373,18 @@ impl Kernel {
         let me = must_current_thread();
         let addr = obj.addr();
         let start_node = self.engine.node_of(me);
-        {
-            let objects = self.objects.lock();
-            let e = objects
-                .get(&addr)
-                .unwrap_or_else(|| panic!("reference to destroyed or unknown object {addr}"));
-            assert!(
-                !e.immutable,
-                "exclusive invocation of immutable object {addr}"
-            );
-        }
         // Frame first, then the residency check (section 3.5 ordering).
-        self.push_frame(me, addr);
+        let immutable = self.bind_frame(me, addr);
+        assert!(
+            !immutable,
+            "exclusive invocation of immutable object {addr}"
+        );
         if carry > 0 {
-            if let Some(r) = self.threads.lock().get_mut(&me) {
-                r.carry_bytes = carry;
-            }
+            self.set_carry(me, carry);
         }
         let at = self.ensure_at_object(addr, false);
         if carry > 0 {
-            if let Some(r) = self.threads.lock().get_mut(&me) {
-                r.carry_bytes = 0;
-            }
+            self.set_carry(me, 0);
         }
         if at != start_node {
             ProtocolStats::bump(&self.pstats.remote_invokes);
@@ -403,8 +409,7 @@ impl Kernel {
                 .expect("object payload type confusion");
             op(ctx, t)
         };
-        self.release_payload(addr, Access::Exclusive);
-        self.pop_frame(me, addr);
+        self.finish_invocation(me, addr, Access::Exclusive);
         self.engine.work(self.cost.local_return);
         self.return_to_enclosing();
         result
@@ -434,20 +439,13 @@ impl Kernel {
         let me = must_current_thread();
         let addr = obj.addr();
         let start_node = self.engine.node_of(me);
-        self.push_frame(me, addr);
+        // Frame push and the immutability read share one shard visit.
+        let immutable = self.bind_frame(me, addr);
         if carry > 0 {
-            if let Some(r) = self.threads.lock().get_mut(&me) {
-                r.carry_bytes = carry;
-            }
+            self.set_carry(me, carry);
         }
         // Immutable objects replicate to the caller instead of shipping the
         // caller (section 2.3's read-only replication).
-        let immutable = self
-            .objects
-            .lock()
-            .get(&addr)
-            .map(|e| e.immutable)
-            .unwrap_or_else(|| panic!("reference to destroyed or unknown object {addr}"));
         let at = if immutable {
             self.replicate_here(addr);
             start_node
@@ -455,9 +453,7 @@ impl Kernel {
             self.ensure_at_object(addr, true)
         };
         if carry > 0 {
-            if let Some(r) = self.threads.lock().get_mut(&me) {
-                r.carry_bytes = 0;
-            }
+            self.set_carry(me, 0);
         }
         if at != start_node {
             ProtocolStats::bump(&self.pstats.remote_invokes);
@@ -482,8 +478,7 @@ impl Kernel {
                 .expect("object payload type confusion");
             op(ctx, t)
         };
-        self.release_payload(addr, Access::Shared);
-        self.pop_frame(me, addr);
+        self.finish_invocation(me, addr, Access::Shared);
         self.engine.work(self.cost.local_return);
         self.return_to_enclosing();
         result
@@ -497,7 +492,7 @@ impl Kernel {
             let here = self.engine.node_of(me);
             let local = self.nodes[here.index()]
                 .descriptors
-                .lock()
+                .read()
                 .is_local(enclosing);
             if !local {
                 self.ensure_at_object(enclosing, true);

@@ -3,9 +3,13 @@
 //! One `Kernel` underlies a whole cluster. It owns:
 //!
 //! * the global object registry — payloads plus mobility metadata (location,
-//!   immutability, attachment, bound threads, in-progress moves);
+//!   immutability, attachment, bound threads, in-progress moves) — sharded
+//!   by address so concurrent operations on different objects never share a
+//!   lock (see [`crate::registry`]);
 //! * per-node state — descriptor tables, heaps, and region-map caches from
-//!   `amber-vspace`;
+//!   `amber-vspace`. Descriptor tables are read-mostly (`RwLock`): the hot
+//!   paths only *read* residency, and writes happen on the rare mobility
+//!   transitions;
 //! * the address-space server (logically on the boot node; consulting it
 //!   from elsewhere is charged as a network round trip);
 //! * protocol statistics.
@@ -15,6 +19,10 @@
 //! the same thing everywhere, and *residency* is pure metadata. All costs of
 //! distribution come from the explicit protocol charges and messages issued
 //! by the methods in this crate, never from the data structures themselves.
+//!
+//! Lock order (see DESIGN.md, "Locking discipline"): `topology` →
+//! object-registry shards (ascending index) → descriptor tables. No lock is
+//! ever held across an engine block.
 
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
@@ -25,6 +33,7 @@ use amber_vspace::{AddressSpaceServer, DescriptorTable, HeapError, NodeHeap, Reg
 use parking_lot::{Mutex, RwLock};
 
 use crate::objref::{AmberObject, ObjRef};
+use crate::registry::{ObjectRegistry, ThreadRegistry};
 use crate::stats::ProtocolStats;
 
 /// Access mode requested on an object payload.
@@ -82,9 +91,39 @@ pub(crate) struct ObjectEntry {
     pub(crate) move_waiters: Vec<ThreadId>,
 }
 
+impl ObjectEntry {
+    /// A fresh entry for an object just created on `node`.
+    fn new<T: AmberObject>(value: T, node: NodeId, size: usize) -> ObjectEntry {
+        ObjectEntry {
+            cell: Arc::new(ObjectCell {
+                data: RwLock::new(Box::new(value)),
+            }),
+            location: node,
+            home: node,
+            size,
+            size_fn: |any| match any.downcast_ref::<T>() {
+                Some(t) => t.transfer_size(),
+                None => 0,
+            },
+            immutable: false,
+            attached: Vec::new(),
+            attached_to: None,
+            bound: HashMap::new(),
+            excl_owner: None,
+            shared_count: 0,
+            op_waiters: VecDeque::new(),
+            moving: false,
+            move_waiters: Vec::new(),
+        }
+    }
+}
+
 /// Per-node kernel state.
 pub(crate) struct NodeKernel {
-    pub(crate) descriptors: Mutex<DescriptorTable>,
+    /// Residency descriptors. Read-mostly: every invoke and residency
+    /// re-check takes the read lock; only mobility transitions (create,
+    /// move, replicate, destroy, hint refresh) take the write lock.
+    pub(crate) descriptors: RwLock<DescriptorTable>,
     pub(crate) heap: Mutex<NodeHeap>,
     pub(crate) regions: Mutex<RegionMap>,
     /// Replications in flight to this node: address -> threads parked until
@@ -93,24 +132,20 @@ pub(crate) struct NodeKernel {
     pub(crate) replicating: Mutex<HashMap<VAddr, Vec<ThreadId>>>,
 }
 
-/// Per-thread runtime record.
-pub(crate) struct ThreadRec {
-    /// Stack of object addresses this thread has invocation frames on;
-    /// `frames.last()` is the object whose operation is executing.
-    pub(crate) frames: Vec<VAddr>,
-    /// Extra payload bytes the next outbound migration carries (arguments
-    /// passed by value with the invocation, e.g. an edge row of grid data).
-    pub(crate) carry_bytes: usize,
-}
-
 /// The cluster-wide kernel.
 pub struct Kernel {
     pub(crate) engine: Arc<dyn Engine>,
     pub(crate) cost: CostModel,
-    pub(crate) objects: Mutex<HashMap<VAddr, ObjectEntry>>,
+    pub(crate) objects: ObjectRegistry,
     pub(crate) nodes: Vec<NodeKernel>,
     pub(crate) server: Mutex<AddressSpaceServer>,
-    pub(crate) threads: Mutex<HashMap<ThreadId, ThreadRec>>,
+    pub(crate) threads: ThreadRegistry,
+    /// Serializes changes to the attachment *topology* (attach/unattach)
+    /// and the computation+claim of a move's attachment group, so a group
+    /// cannot change shape while its `moving` flags are being claimed.
+    /// Never held across an engine block, and never acquired while holding
+    /// a registry shard.
+    pub(crate) topology: Mutex<()>,
     pub(crate) pstats: ProtocolStats,
 }
 
@@ -129,7 +164,7 @@ impl Kernel {
                 let mut regions = RegionMap::new();
                 regions.learn(region, node);
                 NodeKernel {
-                    descriptors: Mutex::new(DescriptorTable::new()),
+                    descriptors: RwLock::new(DescriptorTable::new()),
                     heap: Mutex::new(heap),
                     regions: Mutex::new(regions),
                     replicating: Mutex::new(HashMap::new()),
@@ -139,10 +174,11 @@ impl Kernel {
         Arc::new(Kernel {
             engine,
             cost,
-            objects: Mutex::new(HashMap::new()),
+            objects: ObjectRegistry::new(),
             nodes,
             server: Mutex::new(server),
-            threads: Mutex::new(HashMap::new()),
+            threads: ThreadRegistry::new(),
+            topology: Mutex::new(()),
             pstats: ProtocolStats::default(),
         })
     }
@@ -252,32 +288,12 @@ impl Kernel {
         self.engine.work(self.cost.object_create);
         let size = value.transfer_size();
         let addr = self.heap_alloc(node, size.max(1));
-        let entry = ObjectEntry {
-            cell: Arc::new(ObjectCell {
-                data: RwLock::new(Box::new(value)),
-            }),
-            location: node,
-            home: node,
-            size,
-            size_fn: |any| match any.downcast_ref::<T>() {
-                Some(t) => t.transfer_size(),
-                None => 0,
-            },
-            immutable: false,
-            attached: Vec::new(),
-            attached_to: None,
-            bound: HashMap::new(),
-            excl_owner: None,
-            shared_count: 0,
-            op_waiters: VecDeque::new(),
-            moving: false,
-            move_waiters: Vec::new(),
-        };
+        let entry = ObjectEntry::new(value, node, size);
         self.nodes[node.index()]
             .descriptors
-            .lock()
+            .write()
             .set_resident(addr);
-        let prev = self.objects.lock().insert(addr, entry);
+        let prev = self.objects.lock(addr).insert(addr, entry);
         debug_assert!(prev.is_none(), "heap handed out a live address");
         ProtocolStats::bump(&self.pstats.creates);
         self.trace(|| amber_engine::ProtocolEvent::ObjectCreate { obj: addr.0, node });
@@ -300,32 +316,12 @@ impl Kernel {
         // We are logically at the target node's kernel now: allocate there.
         self.engine.work(self.cost.object_create);
         let addr = self.heap_alloc(node, size.max(1));
-        let entry = ObjectEntry {
-            cell: Arc::new(ObjectCell {
-                data: RwLock::new(Box::new(value)),
-            }),
-            location: node,
-            home: node,
-            size,
-            size_fn: |any| match any.downcast_ref::<T>() {
-                Some(t) => t.transfer_size(),
-                None => 0,
-            },
-            immutable: false,
-            attached: Vec::new(),
-            attached_to: None,
-            bound: HashMap::new(),
-            excl_owner: None,
-            shared_count: 0,
-            op_waiters: VecDeque::new(),
-            moving: false,
-            move_waiters: Vec::new(),
-        };
+        let entry = ObjectEntry::new(value, node, size);
         self.nodes[node.index()]
             .descriptors
-            .lock()
+            .write()
             .set_resident(addr);
-        let prev = self.objects.lock().insert(addr, entry);
+        let prev = self.objects.lock(addr).insert(addr, entry);
         debug_assert!(prev.is_none(), "heap handed out a live address");
         ProtocolStats::bump(&self.pstats.creates);
         self.trace(|| amber_engine::ProtocolEvent::ObjectCreate { obj: addr.0, node });
@@ -342,8 +338,8 @@ impl Kernel {
     /// Panics if the object is unknown, busy, attached, or being moved.
     pub(crate) fn destroy(&self, addr: VAddr) {
         let entry = {
-            let mut objects = self.objects.lock();
-            let e = objects.get(&addr).expect("destroy of unknown object");
+            let mut shard = self.objects.lock(addr);
+            let e = shard.get(&addr).expect("destroy of unknown object");
             assert!(
                 e.excl_owner.is_none() && e.shared_count == 0 && e.bound.is_empty(),
                 "destroy of an object with operations in progress"
@@ -353,19 +349,19 @@ impl Kernel {
                 e.attached.is_empty() && e.attached_to.is_none(),
                 "destroy of an attached object; Unattach first"
             );
-            objects.remove(&addr).expect("entry vanished")
+            shard.remove(&addr).expect("entry vanished")
         };
         let me = self.current_node();
-        self.nodes[me.index()].descriptors.lock().clear(addr);
+        self.nodes[me.index()].descriptors.write().clear(addr);
         if entry.location != me {
             self.nodes[entry.location.index()]
                 .descriptors
-                .lock()
+                .write()
                 .clear(addr);
         }
         self.nodes[entry.home.index()]
             .descriptors
-            .lock()
+            .write()
             .clear(addr);
         self.nodes[entry.home.index()]
             .heap

@@ -49,6 +49,7 @@ mod invoke;
 mod kernel;
 mod mobility;
 mod objref;
+mod registry;
 mod stats;
 mod thread;
 

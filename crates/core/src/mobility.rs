@@ -16,6 +16,13 @@
 //! * Marking an object immutable turns subsequent `MoveTo` calls into
 //!   replication: the destination installs a copy and the source keeps its
 //!   own; shared invocations anywhere are then served by local replicas.
+//!
+//! Multi-object paths here follow the kernel's locking discipline: the
+//! `topology` mutex makes attachment-group membership stable while a group
+//! is computed and claimed, registry shards for a group are taken in
+//! ascending shard order via
+//! [`ObjectRegistry::lock_group`](crate::registry::ObjectRegistry::lock_group),
+//! and descriptor writes are batched into one write-lock visit per node.
 
 use amber_engine::{must_current_thread, NodeId};
 use amber_vspace::{Residency, VAddr};
@@ -25,19 +32,21 @@ use crate::stats::ProtocolStats;
 
 impl Kernel {
     /// The attachment closure rooted at `addr`: the object plus everything
-    /// transitively attached to it. Takes the already-locked registry so
-    /// callers can compute the group and acquire move flags atomically.
-    fn group_of(
-        objects: &std::collections::HashMap<VAddr, crate::kernel::ObjectEntry>,
-        addr: VAddr,
-    ) -> Vec<VAddr> {
+    /// transitively attached to it.
+    ///
+    /// Callers must hold the `topology` lock so membership cannot change
+    /// mid-walk. Shards are visited one at a time and never nested, so the
+    /// walk imposes no shard-order constraint.
+    fn group_of(&self, addr: VAddr) -> Vec<VAddr> {
         let mut group = vec![addr];
         let mut i = 0;
         while i < group.len() {
-            if let Some(e) = objects.get(&group[i]) {
-                for child in &e.attached {
-                    if !group.contains(child) {
-                        group.push(*child);
+            let a = group[i];
+            let children = self.objects.lock(a).get(&a).map(|e| e.attached.clone());
+            if let Some(children) = children {
+                for child in children {
+                    if !group.contains(&child) {
+                        group.push(child);
                     }
                 }
             }
@@ -77,50 +86,57 @@ impl Kernel {
         // their descriptor writes (leaving a stale Resident entry behind).
         // So the mover atomically claims the `moving` flag on every member
         // of the attachment group, parking if any member is already moving.
+        // The topology lock keeps group membership stable from computation
+        // through claim; it is dropped before any park or network work.
         let (source, immutable, group) = loop {
-            let mut objects = self.objects.lock();
-            let (location, immutable, attached_to, moving) = {
-                let e = objects
-                    .get(&addr)
+            let topo = self.topology.lock();
+            // Root state and the already-moving check share one shard
+            // visit, so the waiter registration cannot race the wake.
+            let root = {
+                let mut shard = self.objects.lock(addr);
+                let e = shard
+                    .get_mut(&addr)
                     .unwrap_or_else(|| panic!("MoveTo on destroyed or unknown object {addr}"));
-                (e.location, e.immutable, e.attached_to, e.moving)
+                if e.moving {
+                    e.move_waiters.push(me);
+                    None
+                } else {
+                    Some((e.location, e.immutable, e.attached_to))
+                }
+            };
+            let Some((location, immutable, attached_to)) = root else {
+                drop(topo);
+                self.engine.block_kernel("moveto-serialize");
+                continue;
             };
             assert!(
                 allow_attached || attached_to.is_none(),
                 "MoveTo on an attached object; move the attachment root"
             );
-            if moving {
-                objects
-                    .get_mut(&addr)
-                    .expect("checked above")
-                    .move_waiters
-                    .push(me);
-                drop(objects);
-                self.engine.block_kernel("moveto-serialize");
-                continue;
-            }
             if immutable {
                 break (location, true, Vec::new());
             }
             if location == dest {
                 return;
             }
-            let group = Self::group_of(&objects, addr);
+            let group = self.group_of(addr);
+            let mut shards = self.objects.lock_group(&group);
             if let Some(&busy) = group
                 .iter()
-                .find(|a| objects.get(a).is_some_and(|m| m.moving))
+                .find(|a| shards.get(**a).is_some_and(|m| m.moving))
             {
-                objects
-                    .get_mut(&busy)
+                shards
+                    .get_mut(busy)
                     .expect("checked above")
                     .move_waiters
                     .push(me);
-                drop(objects);
+                drop(shards);
+                drop(topo);
                 self.engine.block_kernel("moveto-serialize");
                 continue;
             }
             for a in &group {
-                objects.get_mut(a).expect("attached object vanished").moving = true;
+                shards.get_mut(*a).expect("attached object vanished").moving = true;
             }
             break (location, false, group);
         };
@@ -146,15 +162,27 @@ impl Kernel {
             // is flipped at its *own* current node: a freshly attached child
             // may not have reached the root's node yet, and flipping only
             // the root's table would leave the child's node claiming
-            // residency after the group installs at `dest`.
-            let objects = self.objects.lock();
-            for a in &group {
-                let e = objects.get(a).expect("attached object vanished");
-                bytes += e.size;
-                self.nodes[e.location.index()]
-                    .descriptors
-                    .lock()
-                    .set_forward(*a, dest);
+            // residency after the group installs at `dest`. Locations are
+            // stable here (every member's `moving` flag is claimed), so the
+            // flips can be batched: one descriptor write-lock visit per
+            // node, not one per member.
+            let mut per_node: Vec<Vec<VAddr>> = vec![Vec::new(); self.nodes.len()];
+            {
+                let shards = self.objects.lock_group(&group);
+                for a in &group {
+                    let e = shards.get(*a).expect("attached object vanished");
+                    bytes += e.size;
+                    per_node[e.location.index()].push(*a);
+                }
+            }
+            for (node, members) in per_node.iter().enumerate() {
+                if members.is_empty() {
+                    continue;
+                }
+                let mut d = self.nodes[node].descriptors.write();
+                for a in members {
+                    d.set_forward(*a, dest);
+                }
             }
         }
         self.trace(|| amber_engine::ProtocolEvent::ObjectMove {
@@ -173,14 +201,22 @@ impl Kernel {
 
         // Bulk transfer to the destination; the handler installs the group.
         self.one_way(source, dest, bytes, "moveto-transfer");
-        // We are logically the destination kernel now: install.
+        // We are logically the destination kernel now: install. Observers
+        // park on the `moving` flag before reading descriptors, so the gap
+        // between the location update and the destination's descriptor
+        // batch is invisible to them.
         self.engine.work(self.cost.move_install);
         {
-            let mut objects = self.objects.lock();
-            let mut d = self.nodes[dest.index()].descriptors.lock();
+            let mut shards = self.objects.lock_group(&group);
             for a in &group {
-                let e = objects.get_mut(a).expect("attached object vanished");
-                e.location = dest;
+                shards
+                    .get_mut(*a)
+                    .expect("attached object vanished")
+                    .location = dest;
+            }
+            drop(shards);
+            let mut d = self.nodes[dest.index()].descriptors.write();
+            for a in &group {
                 d.set_resident(*a);
             }
         }
@@ -189,10 +225,10 @@ impl Kernel {
         // Clear the moving flag on every group member and release anyone
         // who parked on any of them.
         let waiters = {
-            let mut objects = self.objects.lock();
+            let mut shards = self.objects.lock_group(&group);
             let mut ws = Vec::new();
             for a in &group {
-                let e = objects.get_mut(a).expect("moved object vanished");
+                let e = shards.get_mut(*a).expect("moved object vanished");
                 e.moving = false;
                 ws.append(&mut e.move_waiters);
             }
@@ -218,7 +254,7 @@ impl Kernel {
         // One transfer per (object, node): later readers park until the
         // in-flight replica installs.
         loop {
-            if self.nodes[node.index()].descriptors.lock().is_local(addr) {
+            if self.nodes[node.index()].descriptors.read().is_local(addr) {
                 return;
             }
             let mut inflight = self.nodes[node.index()].replicating.lock();
@@ -235,8 +271,8 @@ impl Kernel {
             }
         }
         let (location, size) = {
-            let objects = self.objects.lock();
-            let e = objects
+            let shard = self.objects.lock(addr);
+            let e = shard
                 .get(&addr)
                 .unwrap_or_else(|| panic!("replication of destroyed object {addr}"));
             debug_assert!(e.immutable, "replication of a mutable object");
@@ -268,7 +304,7 @@ impl Kernel {
         self.engine.work(self.cost.move_install);
         self.nodes[node.index()]
             .descriptors
-            .lock()
+            .write()
             .set_replica(addr);
         ProtocolStats::bump(&self.pstats.replications);
         self.trace(|| amber_engine::ProtocolEvent::Replication {
@@ -294,8 +330,8 @@ impl Kernel {
     ///
     /// Panics if an exclusive operation is in progress.
     pub(crate) fn set_immutable(&self, addr: VAddr) {
-        let mut objects = self.objects.lock();
-        let e = objects
+        let mut shard = self.objects.lock(addr);
+        let e = shard
             .get_mut(&addr)
             .unwrap_or_else(|| panic!("set_immutable on destroyed object {addr}"));
         assert!(
@@ -308,7 +344,7 @@ impl Kernel {
     /// `true` if the object has been marked immutable.
     pub(crate) fn is_immutable(&self, addr: VAddr) -> bool {
         self.objects
-            .lock()
+            .lock(addr)
             .get(&addr)
             .map(|e| e.immutable)
             .unwrap_or(false)
@@ -324,25 +360,31 @@ impl Kernel {
     pub(crate) fn attach(&self, child: VAddr, parent: VAddr) {
         assert_ne!(child, parent, "an object cannot attach to itself");
         {
-            let mut objects = self.objects.lock();
-            assert!(
-                objects.contains_key(&child) && objects.contains_key(&parent),
-                "attach of unknown object"
-            );
+            // The topology lock keeps the attachment structure stable for
+            // the cycle walk (which crosses shards one visit at a time) and
+            // serializes this mutation against concurrent group moves.
+            let _topo = self.topology.lock();
+            let parent_known = self.objects.lock(parent).contains_key(&parent);
+            let child_known = self.objects.lock(child).contains_key(&child);
+            assert!(parent_known && child_known, "attach of unknown object");
             // Cycle check: walk up from parent.
             let mut cur = Some(parent);
             while let Some(a) = cur {
                 assert_ne!(a, child, "attachment cycle");
-                cur = objects.get(&a).and_then(|e| e.attached_to);
+                cur = self.objects.lock(a).get(&a).and_then(|e| e.attached_to);
             }
-            let c = objects.get_mut(&child).expect("child vanished");
+            let mut shards = self.objects.lock_group(&[child, parent]);
+            let c = shards.get_mut(child).expect("child vanished");
             assert!(
                 c.attached_to.is_none(),
                 "object is already attached; Unattach first"
             );
             c.attached_to = Some(parent);
-            let p = objects.get_mut(&parent).expect("parent vanished");
-            p.attached.push(child);
+            shards
+                .get_mut(parent)
+                .expect("parent vanished")
+                .attached
+                .push(child);
         }
         // Co-locate immediately: bring the child to the parent's node via
         // the internal move path, which accepts an attached root. The old
@@ -355,27 +397,31 @@ impl Kernel {
         let me = must_current_thread();
         let mut rounds = 0u32;
         loop {
-            let (parent_loc, child_loc) = {
-                let mut objects = self.objects.lock();
-                // Only compare *settled* locations: if either object is
-                // mid-move, park on its waiters and re-read afterwards.
+            // Only compare *settled* locations: if either object is
+            // mid-move, park on its waiters and re-read afterwards. The
+            // busy check and waiter registration share one group guard.
+            let settled = {
+                let mut shards = self.objects.lock_group(&[parent, child]);
                 let busy = [parent, child]
                     .into_iter()
-                    .find(|a| objects.get(a).is_some_and(|e| e.moving));
+                    .find(|a| shards.get(*a).is_some_and(|e| e.moving));
                 if let Some(busy) = busy {
-                    objects
-                        .get_mut(&busy)
+                    shards
+                        .get_mut(busy)
                         .expect("checked above")
                         .move_waiters
                         .push(me);
-                    drop(objects);
-                    self.engine.block_kernel("attach-await-move");
-                    continue;
+                    None
+                } else {
+                    Some((
+                        shards.get(parent).expect("parent vanished").location,
+                        shards.get(child).expect("child vanished").location,
+                    ))
                 }
-                (
-                    objects.get(&parent).expect("parent vanished").location,
-                    objects.get(&child).expect("child vanished").location,
-                )
+            };
+            let Some((parent_loc, child_loc)) = settled else {
+                self.engine.block_kernel("attach-await-move");
+                continue;
             };
             if parent_loc == child_loc {
                 break;
@@ -392,18 +438,26 @@ impl Kernel {
     ///
     /// Panics if the object is unknown or not attached.
     pub(crate) fn unattach(&self, child: VAddr) {
-        let mut objects = self.objects.lock();
-        let c = objects
-            .get_mut(&child)
-            .unwrap_or_else(|| panic!("unattach of unknown object {child}"));
-        let parent = c
-            .attached_to
-            .take()
-            .expect("unattach of an object that is not attached");
-        let p = objects
+        // Structure mutation: serialize against group walks and attaches.
+        // The two shard visits are sequential (never nested), and the
+        // intermediate state is invisible because every walker holds the
+        // topology lock too.
+        let _topo = self.topology.lock();
+        let parent = {
+            let mut shard = self.objects.lock(child);
+            let c = shard
+                .get_mut(&child)
+                .unwrap_or_else(|| panic!("unattach of unknown object {child}"));
+            c.attached_to
+                .take()
+                .expect("unattach of an object that is not attached")
+        };
+        self.objects
+            .lock(parent)
             .get_mut(&parent)
-            .expect("attachment parent vanished");
-        p.attached.retain(|a| *a != child);
+            .expect("attachment parent vanished")
+            .attached
+            .retain(|a| *a != child);
     }
 
     /// Locates the object by following the forwarding chain with control
@@ -422,11 +476,11 @@ impl Kernel {
             // Park while a move of this object is in flight; woken by the
             // mover once the group has installed at the destination.
             {
-                let mut objects = self.objects.lock();
-                match objects.get_mut(&addr) {
+                let mut shard = self.objects.lock(addr);
+                match shard.get_mut(&addr) {
                     Some(e) if e.moving => {
                         e.move_waiters.push(me);
-                        drop(objects);
+                        drop(shard);
                         self.engine.block_kernel("await-move-install");
                         continue;
                     }
@@ -434,7 +488,7 @@ impl Kernel {
                     None => panic!("locate of destroyed or unknown object {addr}"),
                 }
             }
-            let desc = self.nodes[cur.index()].descriptors.lock().lookup(addr);
+            let desc = self.nodes[cur.index()].descriptors.read().lookup(addr);
             let next = match desc {
                 Some(Residency::Resident) | Some(Residency::Replica) => break,
                 Some(Residency::Forward(n)) => {
@@ -462,7 +516,7 @@ impl Kernel {
                 // Stale self-hint (move in flight); consult ground truth.
                 let loc = self
                     .objects
-                    .lock()
+                    .lock(addr)
                     .get(&addr)
                     .map(|e| e.location)
                     .unwrap_or_else(|| panic!("locate of destroyed object {addr}"));
@@ -471,7 +525,7 @@ impl Kernel {
                 }
                 self.nodes[cur.index()]
                     .descriptors
-                    .lock()
+                    .write()
                     .cache_hint(addr, loc);
                 continue;
             }
@@ -484,7 +538,7 @@ impl Kernel {
             self.one_way(cur, origin, self.cost.control_packet_bytes, "locate-reply");
             self.nodes[origin.index()]
                 .descriptors
-                .lock()
+                .write()
                 .cache_hint(addr, cur);
         }
         cur

@@ -1,0 +1,329 @@
+//! Sharded kernel state: the concurrent object registry and the thread
+//! registry.
+//!
+//! The kernel used to funnel every invoke, locate, move and thread
+//! start/exit through one cluster-wide `Mutex<HashMap<VAddr, ObjectEntry>>`
+//! and one global `Mutex<HashMap<ThreadId, ThreadRec>>`. Under `RealEngine`
+//! that serialized the whole "network of multiprocessors" on two
+//! process-wide locks; under `SimEngine` it added constant overhead to
+//! every charged operation. This module replaces both:
+//!
+//! * [`ObjectRegistry`] — a fixed power-of-two array of
+//!   [`CachePadded`]`<Mutex<HashMap<..>>>` shards, shard chosen from the
+//!   object's address bits. Single-object paths (the invoke fast path)
+//!   lock exactly one shard. The rare multi-object paths (attachment-group
+//!   moves, `Attach`/`Unattach`) lock all of the group's shards through
+//!   [`ObjectRegistry::lock_group`], which acquires them in **ascending
+//!   shard-index order** — the lock order that makes concurrent group
+//!   operations deadlock-free.
+//! * [`ThreadRegistry`] — the same sharding for per-thread records, plus a
+//!   per-OS-thread cached `Arc<ThreadRec>` handle: each engine thread
+//!   resolves its own record through a thread-local after registration, so
+//!   the invoke/return frame bookkeeping never touches a map at all.
+//!
+//! None of this changes protocol behaviour: which events fire, which costs
+//! are charged and which messages travel are untouched. Only real-lock
+//! contention changes. See DESIGN.md, "Locking discipline".
+
+use std::cell::RefCell;
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use amber_engine::ThreadId;
+use amber_vspace::VAddr;
+use parking_lot::{Mutex, MutexGuard};
+
+use crate::kernel::ObjectEntry;
+
+/// Number of object-registry shards. Power of two so the shard index is a
+/// mask of mixed address bits; 64 keeps per-shard collision odds low even
+/// for clusters with thousands of live objects while staying cheap to
+/// allocate per cluster.
+pub(crate) const OBJ_SHARDS: usize = 64;
+
+/// Number of thread-registry shards. Threads are registered/unregistered
+/// far less often than objects are touched, and lookups are almost always
+/// absorbed by the thread-local cache, so fewer shards suffice.
+pub(crate) const THREAD_SHARDS: usize = 16;
+
+/// Pads and aligns its contents to 128 bytes so neighbouring shards never
+/// share a cache line (two lines: covers adjacent-line prefetching on
+/// modern x86).
+#[repr(align(128))]
+pub(crate) struct CachePadded<T>(pub(crate) T);
+
+/// The shard index of an object address.
+///
+/// Heap blocks are 16-byte aligned (`amber_vspace::ALIGN`), so the low 4
+/// bits carry no information; the bits directly above are the bump
+/// allocator's sequence within a region, which spreads consecutively
+/// created objects across consecutive shards. Higher bits are folded in so
+/// region-aligned strides (objects allocated at the same offset of
+/// different 1 MB regions) cannot alias onto one shard.
+///
+/// Routing is a pure function of the address: stable for the object's
+/// lifetime (addresses never change, even across moves).
+#[inline]
+pub(crate) fn shard_of(addr: VAddr) -> usize {
+    let a = addr.raw() >> 4;
+    ((a ^ (a >> 9) ^ (a >> 17)) as usize) & (OBJ_SHARDS - 1)
+}
+
+type ObjectShard = Mutex<HashMap<VAddr, ObjectEntry>>;
+
+/// The cluster-wide object registry, sharded by address.
+pub(crate) struct ObjectRegistry {
+    shards: Box<[CachePadded<ObjectShard>]>,
+}
+
+impl ObjectRegistry {
+    pub(crate) fn new() -> ObjectRegistry {
+        ObjectRegistry {
+            shards: (0..OBJ_SHARDS)
+                .map(|_| CachePadded(Mutex::new(HashMap::new())))
+                .collect(),
+        }
+    }
+
+    /// Locks the single shard holding `addr`. The fast-path acquisition:
+    /// one uncontended-unless-colliding mutex, never the whole registry.
+    pub(crate) fn lock(&self, addr: VAddr) -> MutexGuard<'_, HashMap<VAddr, ObjectEntry>> {
+        self.shards[shard_of(addr)].0.lock()
+    }
+
+    /// Locks every shard touched by `addrs` in ascending shard-index order
+    /// (the documented multi-entry lock order) and returns a guard that
+    /// resolves entries across the held shards.
+    pub(crate) fn lock_group(&self, addrs: &[VAddr]) -> GroupGuard<'_> {
+        let mut indices: Vec<usize> = addrs.iter().map(|a| shard_of(*a)).collect();
+        indices.sort_unstable();
+        indices.dedup();
+        let guards = indices
+            .into_iter()
+            .map(|i| (i, self.shards[i].0.lock()))
+            .collect();
+        GroupGuard { guards }
+    }
+
+    /// Visits every entry, locking one shard at a time in ascending order.
+    /// Callers must copy what they need out of `f` and format afterwards;
+    /// the view is per-shard consistent, not a cluster-wide snapshot.
+    pub(crate) fn for_each(&self, mut f: impl FnMut(VAddr, &ObjectEntry)) {
+        for shard in self.shards.iter() {
+            let map = shard.0.lock();
+            for (a, e) in map.iter() {
+                f(*a, e);
+            }
+        }
+    }
+}
+
+/// Multi-shard guard returned by [`ObjectRegistry::lock_group`]: all shards
+/// of an address set, held at once, acquired in ascending index order.
+pub(crate) struct GroupGuard<'a> {
+    /// `(shard index, guard)`, sorted ascending by index.
+    guards: Vec<(usize, MutexGuard<'a, HashMap<VAddr, ObjectEntry>>)>,
+}
+
+impl GroupGuard<'_> {
+    fn guard_of(&self, addr: VAddr) -> Option<usize> {
+        let s = shard_of(addr);
+        self.guards.binary_search_by_key(&s, |(i, _)| *i).ok()
+    }
+
+    /// The entry for `addr`, if its shard is held and the object exists.
+    pub(crate) fn get(&self, addr: VAddr) -> Option<&ObjectEntry> {
+        let i = self.guard_of(addr)?;
+        self.guards[i].1.get(&addr)
+    }
+
+    /// Mutable entry access; same conditions as [`GroupGuard::get`].
+    pub(crate) fn get_mut(&mut self, addr: VAddr) -> Option<&mut ObjectEntry> {
+        let i = self.guard_of(addr)?;
+        self.guards[i].1.get_mut(&addr)
+    }
+}
+
+/// Mutable state of one thread's runtime record. Only the owning thread
+/// writes it, so the lock is uncontended; it exists to make the record
+/// shareable (`Arc<ThreadRec>`) without `unsafe`.
+pub(crate) struct ThreadState {
+    /// Stack of object addresses this thread has invocation frames on;
+    /// `frames.last()` is the object whose operation is executing.
+    pub(crate) frames: Vec<VAddr>,
+    /// Extra payload bytes the next outbound migration carries (arguments
+    /// passed by value with the invocation, e.g. an edge row of grid data).
+    pub(crate) carry_bytes: usize,
+}
+
+/// Per-thread runtime record, shared between the registry map and the
+/// owning thread's local cache.
+pub(crate) struct ThreadRec {
+    pub(crate) state: Mutex<ThreadState>,
+}
+
+thread_local! {
+    /// The calling OS thread's own record. Engines run each Amber thread on
+    /// a dedicated OS thread, so after [`ThreadRegistry::register`] every
+    /// frame push/pop resolves here — no map, no shared lock. The stored
+    /// [`ThreadId`] is validated on every hit, so a stale entry (an OS
+    /// thread reused for a different Amber thread) falls back to the map.
+    static CACHED_REC: RefCell<Option<(ThreadId, Arc<ThreadRec>)>> = const { RefCell::new(None) };
+}
+
+/// One thread-registry shard's map.
+type ThreadMap = HashMap<ThreadId, Arc<ThreadRec>>;
+
+/// The cluster-wide thread registry, sharded by thread id.
+pub(crate) struct ThreadRegistry {
+    shards: Box<[CachePadded<Mutex<ThreadMap>>]>,
+}
+
+impl ThreadRegistry {
+    pub(crate) fn new() -> ThreadRegistry {
+        ThreadRegistry {
+            shards: (0..THREAD_SHARDS)
+                .map(|_| CachePadded(Mutex::new(HashMap::new())))
+                .collect(),
+        }
+    }
+
+    fn shard(&self, tid: ThreadId) -> &Mutex<ThreadMap> {
+        &self.shards[(tid.0 as usize) & (THREAD_SHARDS - 1)].0
+    }
+
+    /// Registers the *calling* thread's record and caches the handle in the
+    /// thread-local, so subsequent lookups never touch the map.
+    pub(crate) fn register(&self, tid: ThreadId) {
+        let rec = Arc::new(ThreadRec {
+            state: Mutex::new(ThreadState {
+                frames: Vec::new(),
+                carry_bytes: 0,
+            }),
+        });
+        self.shard(tid).lock().insert(tid, Arc::clone(&rec));
+        CACHED_REC.with(|c| *c.borrow_mut() = Some((tid, rec)));
+    }
+
+    /// Drops a finished thread's record (and the local cache if it is the
+    /// calling thread's own).
+    pub(crate) fn unregister(&self, tid: ThreadId) {
+        self.shard(tid).lock().remove(&tid);
+        CACHED_REC.with(|c| {
+            let mut c = c.borrow_mut();
+            if c.as_ref().is_some_and(|(t, _)| *t == tid) {
+                *c = None;
+            }
+        });
+    }
+
+    /// The record for `tid`: the thread-local cache when the caller *is*
+    /// `tid` (the overwhelmingly common case — invoke/return bookkeeping is
+    /// always self-directed), the sharded map otherwise.
+    pub(crate) fn rec(&self, tid: ThreadId) -> Option<Arc<ThreadRec>> {
+        let cached = CACHED_REC.with(|c| {
+            c.borrow()
+                .as_ref()
+                .and_then(|(t, r)| (*t == tid).then(|| Arc::clone(r)))
+        });
+        match cached {
+            Some(r) => Some(r),
+            None => self.shard(tid).lock().get(&tid).cloned(),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn shard_of_is_in_range_and_stable() {
+        for raw in (0..1_000_000u64).step_by(97) {
+            let a = VAddr(raw);
+            let s = shard_of(a);
+            assert!(s < OBJ_SHARDS);
+            assert_eq!(s, shard_of(a), "routing must be a pure function");
+        }
+    }
+
+    #[test]
+    fn consecutive_allocations_spread_over_shards() {
+        // A bump allocator hands out 16-byte-aligned consecutive blocks;
+        // 64 consecutive small objects must not pile onto a few shards.
+        use std::collections::HashSet;
+        let hit: HashSet<usize> = (0..64u64).map(|i| shard_of(VAddr(i * 16))).collect();
+        assert!(hit.len() >= 48, "only {} distinct shards", hit.len());
+    }
+
+    #[test]
+    fn region_aligned_strides_do_not_alias() {
+        // Objects at the same offset of different 1 MB regions (the worst
+        // structured allocation pattern) must still spread.
+        use std::collections::HashSet;
+        let hit: HashSet<usize> = (0..64u64)
+            .map(|i| shard_of(VAddr(i * amber_vspace::REGION_BYTES + 32)))
+            .collect();
+        assert!(hit.len() >= 24, "only {} distinct shards", hit.len());
+    }
+
+    #[test]
+    fn thread_registry_cache_hits_own_record() {
+        let reg = ThreadRegistry::new();
+        reg.register(ThreadId(7));
+        let r = reg.rec(ThreadId(7)).expect("registered");
+        r.state.lock().carry_bytes = 99;
+        // Cache and map resolve to the same record.
+        let again = reg.rec(ThreadId(7)).expect("still registered");
+        assert_eq!(again.state.lock().carry_bytes, 99);
+        reg.unregister(ThreadId(7));
+        assert!(reg.rec(ThreadId(7)).is_none());
+    }
+
+    #[test]
+    fn group_guard_resolves_across_shards() {
+        use std::collections::VecDeque;
+        let reg = ObjectRegistry::new();
+        let addrs: Vec<VAddr> = (1..5u64).map(|i| VAddr(i * 16)).collect();
+        for &a in &addrs {
+            reg.lock(a).insert(
+                a,
+                ObjectEntry {
+                    cell: Arc::new(crate::kernel::ObjectCell {
+                        data: parking_lot::RwLock::new(Box::new(0u64)),
+                    }),
+                    location: amber_engine::NodeId(0),
+                    home: amber_engine::NodeId(0),
+                    size: 8,
+                    size_fn: |_| 8,
+                    immutable: false,
+                    attached: Vec::new(),
+                    attached_to: None,
+                    bound: HashMap::new(),
+                    excl_owner: None,
+                    shared_count: 0,
+                    op_waiters: VecDeque::new(),
+                    moving: false,
+                    move_waiters: Vec::new(),
+                },
+            );
+        }
+        let mut g = reg.lock_group(&addrs);
+        for &a in &addrs {
+            assert!(g.get(a).is_some(), "{a} missing from group view");
+            g.get_mut(a).unwrap().moving = true;
+        }
+        // An address whose shard is not held resolves to None, not a panic.
+        let outside = VAddr(0x9999 * 16);
+        if addrs.iter().all(|a| shard_of(*a) != shard_of(outside)) {
+            assert!(g.get(outside).is_none());
+        }
+        drop(g);
+        let mut count = 0;
+        reg.for_each(|_, e| {
+            assert!(e.moving);
+            count += 1;
+        });
+        assert_eq!(count, addrs.len());
+    }
+}

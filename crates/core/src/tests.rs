@@ -959,6 +959,102 @@ fn trace_reconciles_with_protocol_counters() {
     assert!(json.contains("object_move"));
 }
 
+// ---------------------------------------------------------------------------
+// Registry sharding
+// ---------------------------------------------------------------------------
+
+use proptest::prelude::*;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(256))]
+
+    /// Shard routing is a pure function of the address and always lands in
+    /// range: the invariants every lock-order argument in the kernel rests
+    /// on (a group sorted by shard index stays sorted on every re-lock).
+    #[test]
+    fn shard_routing_is_stable_and_in_range(
+        raws in proptest::collection::vec(1u64..u64::MAX / 2, 1..64)
+    ) {
+        for r in raws {
+            let addr = crate::VAddr(r & !0xf); // heap blocks are 16-aligned
+            let s1 = crate::registry::shard_of(addr);
+            let s2 = crate::registry::shard_of(addr);
+            prop_assert_eq!(s1, s2, "shard routing must be deterministic");
+            prop_assert!(s1 < crate::registry::OBJ_SHARDS);
+        }
+    }
+}
+
+proptest! {
+    // Real-engine runs per case: keep the case count small.
+    #![proptest_config(ProptestConfig::with_cases(6))]
+
+    /// Random attachment forests moved concurrently by one OS-thread mover
+    /// per root never deadlock (group claims always take shards in
+    /// ascending order), and every member ends up co-located with its root.
+    #[test]
+    fn random_attach_forests_move_without_deadlock(
+        parents in proptest::collection::vec(0usize..8, 2..9),
+        dests in proptest::collection::vec(0u16..4, 2..5),
+    ) {
+        let c = Cluster::builder()
+            .nodes(4)
+            .processors(2)
+            .engine(EngineChoice::Real)
+            .latency(LatencyModel::zero())
+            .deadline(std::time::Duration::from_secs(60))
+            .build();
+        c.run(move |ctx| {
+            // A random forest: each object after the first attaches to a
+            // uniformly chosen *earlier* object (acyclic by construction)
+            // or stays a root of its own.
+            let n = parents.len() + 1;
+            let objs: Vec<_> = (0..n)
+                .map(|i| ctx.create_on(NodeId((i % 4) as u16), i as u64))
+                .collect();
+            let mut parent_of = vec![usize::MAX; n];
+            for (i, p) in parents.iter().enumerate() {
+                let child = i + 1;
+                if *p < child {
+                    ctx.attach(&objs[child], &objs[*p]);
+                    parent_of[child] = *p;
+                }
+            }
+            let roots: Vec<usize> =
+                (0..n).filter(|i| parent_of[*i] == usize::MAX).collect();
+            let movers: Vec<_> = roots
+                .iter()
+                .map(|r| {
+                    let root = objs[*r];
+                    let dests = dests.clone();
+                    let seat = ctx.create_on(NodeId((*r % 4) as u16), 0u8);
+                    ctx.start(&seat, move |ctx, _| {
+                        for d in dests {
+                            ctx.move_to(&root, NodeId(d));
+                        }
+                    })
+                })
+                .collect();
+            for m in movers {
+                m.join(ctx);
+            }
+            // Once the movers settle, every member sits with its root.
+            for i in 0..n {
+                let mut r = i;
+                while parent_of[r] != usize::MAX {
+                    r = parent_of[r];
+                }
+                assert_eq!(
+                    ctx.locate(&objs[i]),
+                    ctx.locate(&objs[r]),
+                    "group member strayed from its root"
+                );
+            }
+        })
+        .unwrap();
+    }
+}
+
 #[test]
 fn null_sink_records_nothing_and_stops_cleanly() {
     let c = sim(2, 1);
