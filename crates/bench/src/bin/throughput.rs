@@ -9,11 +9,18 @@
 //! * `AMBER_KERNEL_LABEL` — label this run is stored under (default
 //!   `current`); the baseline commit was recorded as `global-lock`.
 //! * `AMBER_THROUGHPUT_ITERS` — per-worker local-invoke iterations
-//!   (default 20000; the mixed scenario runs a tenth of that).
+//!   (default 20000; the mixed and lossy scenarios run a tenth of that).
 //! * `AMBER_BENCH_OUT` — output path (default `BENCH_throughput.json`).
 //!   CI's smoke run points this at a scratch file.
+//!
+//! Besides the loss-free scenarios, a 2-node remote-invoke workload is
+//! measured under fault injection at 0%/1%/5% attempt loss
+//! (`lossy_invoke_loss{0,1,5}`), pricing the reliability sublayer and its
+//! retransmission stalls.
 
-use amber_bench::throughput::{run_local_invoke, run_mixed, write_merged, NODE_COUNTS};
+use amber_bench::throughput::{
+    run_local_invoke, run_lossy_invoke, run_mixed, write_merged, LOSS_PERCENTS, NODE_COUNTS,
+};
 
 fn env_u64(name: &str, default: u64) -> u64 {
     std::env::var(name)
@@ -44,6 +51,17 @@ fn main() {
         rows.push(vec![
             p.scenario.to_string(),
             n.to_string(),
+            p.ops.to_string(),
+            format!("{:.1} ms", p.elapsed.as_secs_f64() * 1e3),
+            format!("{:.0}", p.ops_per_sec()),
+        ]);
+        points.push(p);
+    }
+    for &loss in &LOSS_PERCENTS {
+        let p = run_lossy_invoke(2, mixed_iters, loss);
+        rows.push(vec![
+            p.scenario.to_string(),
+            p.nodes.to_string(),
             p.ops.to_string(),
             format!("{:.1} ms", p.elapsed.as_secs_f64() * 1e3),
             format!("{:.0}", p.ops_per_sec()),

@@ -22,7 +22,7 @@
 
 use std::time::{Duration, Instant};
 
-use amber_core::{Cluster, EngineChoice, LatencyModel, NodeId};
+use amber_core::{Cluster, EngineChoice, FaultPlan, LatencyModel, NodeId, SimTime};
 
 /// One measured configuration.
 #[derive(Clone, Debug)]
@@ -53,6 +53,9 @@ impl Point {
 
 /// Node counts every scenario is measured at.
 pub const NODE_COUNTS: [usize; 4] = [1, 2, 4, 8];
+
+/// Loss percentages the lossy scenario is measured at.
+pub const LOSS_PERCENTS: [u32; 3] = [0, 1, 5];
 
 fn real_cluster(nodes: usize) -> Cluster {
     Cluster::builder()
@@ -162,6 +165,78 @@ pub fn run_mixed(nodes: usize, iters: u64) -> Point {
         .expect("mixed bench run failed");
     Point {
         scenario: "mixed",
+        nodes,
+        workers: nodes,
+        ops,
+        elapsed,
+    }
+}
+
+/// Remote-invoke throughput over a fault-injected network: workers drag
+/// their thread across a link with `loss_pct`% attempt drops on every other
+/// operation, so the numbers price the reliability sublayer (sequence
+/// numbers, dedup windows, retransmit timers) and the retransmission stalls
+/// that real loss adds on top of it. Loss 0 isolates the sublayer's pure
+/// bookkeeping overhead; compare against `local_invoke` for the unfaulted
+/// baseline.
+pub fn run_lossy_invoke(nodes: usize, iters: u64, loss_pct: u32) -> Point {
+    let scenario = match loss_pct {
+        0 => "lossy_invoke_loss0",
+        1 => "lossy_invoke_loss1",
+        5 => "lossy_invoke_loss5",
+        _ => "lossy_invoke",
+    };
+    let plan = FaultPlan::seeded(0x10551 + loss_pct as u64)
+        .drop_rate(loss_pct as f64 / 100.0)
+        .rto_grace(SimTime::from_ms(1));
+    let cluster = Cluster::builder()
+        .nodes(nodes)
+        .processors(2)
+        .engine(EngineChoice::Real)
+        .latency(LatencyModel::zero())
+        .deadline(Duration::from_secs(300))
+        .faults(plan)
+        .build();
+    let (ops, elapsed) = cluster
+        .run(move |ctx| {
+            let n = ctx.nodes();
+            let work: Vec<_> = (0..n)
+                .map(|k| {
+                    let node = NodeId::from(k);
+                    (ctx.create_on(node, 0u8), ctx.create_on(node, 0u64))
+                })
+                .collect();
+            let counters: Vec<_> = work.iter().map(|&(_, c)| c).collect();
+            let t0 = Instant::now();
+            let hs: Vec<_> = work
+                .iter()
+                .enumerate()
+                .map(|(k, &(anchor, counter))| {
+                    let peer = counters[(k + 1) % n];
+                    ctx.start(&anchor, move |ctx, _| {
+                        for i in 0..iters {
+                            // Alternate peer/home so each pair of ops drags
+                            // the thread across the lossy link and back.
+                            if i % 2 == 0 {
+                                ctx.invoke(&peer, |_, c| *c += 1);
+                            } else {
+                                ctx.invoke(&counter, |_, c| *c += 1);
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join(ctx);
+            }
+            let elapsed = t0.elapsed();
+            let total: u64 = counters.iter().map(|c| ctx.invoke(c, |_, v| *v)).sum();
+            assert_eq!(total, iters * n as u64, "lost invocations on lossy link");
+            (total, elapsed)
+        })
+        .expect("lossy-invoke bench run failed");
+    Point {
+        scenario,
         nodes,
         workers: nodes,
         ops,
@@ -321,5 +396,12 @@ mod tests {
         let p = run_local_invoke(2, 25);
         assert_eq!(p.ops, 50);
         assert_eq!(p.nodes, 2);
+    }
+
+    #[test]
+    fn tiny_lossy_invoke_run_counts_ops() {
+        let p = run_lossy_invoke(2, 20, 5);
+        assert_eq!(p.ops, 40);
+        assert_eq!(p.scenario, "lossy_invoke_loss5");
     }
 }

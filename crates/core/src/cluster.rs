@@ -58,6 +58,7 @@ pub struct ClusterBuilder {
     policy: PolicyKind,
     engine: EngineChoice,
     deadline: Option<Duration>,
+    faults: Option<amber_engine::FaultPlan>,
 }
 
 impl Default for ClusterBuilder {
@@ -70,6 +71,7 @@ impl Default for ClusterBuilder {
             policy: PolicyKind::Fifo,
             engine: EngineChoice::Sim,
             deadline: None,
+            faults: None,
         }
     }
 }
@@ -118,11 +120,23 @@ impl ClusterBuilder {
         self
     }
 
+    /// Installs a seeded [`FaultPlan`](amber_engine::FaultPlan): the network
+    /// drops, duplicates, delays and partitions messages per the plan, and
+    /// the engines' reliability sublayer delivers each kernel message at
+    /// most once, retransmitting on timeout.
+    pub fn faults(mut self, plan: amber_engine::FaultPlan) -> Self {
+        self.faults = Some(plan);
+        self
+    }
+
     /// Builds the cluster.
     pub fn build(self) -> Cluster {
-        let spec = amber_engine::ClusterSpec::uniform(self.nodes, self.processors)
+        let mut spec = amber_engine::ClusterSpec::uniform(self.nodes, self.processors)
             .with_latency(self.latency)
             .with_policy(self.policy);
+        if let Some(plan) = self.faults {
+            spec = spec.with_faults(plan);
+        }
         let engine: Arc<dyn Engine> = match self.engine {
             EngineChoice::Sim => Arc::new(SimEngine::new(spec)),
             EngineChoice::Real => {

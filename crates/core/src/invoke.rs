@@ -102,9 +102,15 @@ impl Kernel {
             to,
             self.cost.thread_packet_bytes + carry,
             Box::new(move || {
-                engine.set_node(me, to);
-                arrived2.store(true, std::sync::atomic::Ordering::Release);
-                engine.unblock_kernel(me);
+                // Idempotent under duplicate delivery: the engines' dedup
+                // window makes a second run impossible under a FaultPlan,
+                // but the swap guard keeps a stray duplicate from issuing a
+                // redundant set_node/wake even if a future transport drops
+                // that guarantee.
+                if !arrived2.swap(true, std::sync::atomic::Ordering::AcqRel) {
+                    engine.set_node(me, to);
+                    engine.unblock_kernel(me);
+                }
             }),
         );
         // Kernel-class, predicate-guarded wait: a user wake-up aimed at

@@ -211,8 +211,10 @@ impl Kernel {
             to,
             bytes,
             Box::new(move || {
-                delivered2.store(true, std::sync::atomic::Ordering::Release);
-                engine.unblock_kernel(me);
+                // Idempotent under duplicate delivery; see `migrate_current`.
+                if !delivered2.swap(true, std::sync::atomic::Ordering::AcqRel) {
+                    engine.unblock_kernel(me);
+                }
             }),
         );
         // Kernel-class, predicate-guarded: user wake-ups aimed at this

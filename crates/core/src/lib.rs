@@ -61,8 +61,8 @@ pub use thread::{JoinHandle, ThreadObj};
 
 // Commonly useful re-exports so applications depend on one crate.
 pub use amber_engine::{
-    trace, CostModel, EngineError, LatencyModel, MemorySink, NodeId, PolicyKind, ProtocolEvent,
-    SimTime, ThreadId, TraceRecord, TraceSink,
+    trace, CostModel, EngineError, FaultPlan, LatencyModel, LinkFaults, MemorySink, NodeId,
+    Partition, PolicyKind, ProtocolEvent, SimTime, ThreadId, TraceRecord, TraceSink,
 };
 pub use amber_vspace::VAddr;
 

@@ -110,6 +110,14 @@ pub struct TraceSummary {
     pub message_bytes: u64,
     /// Total payload bytes moved by explicit object moves.
     pub moved_bytes: u64,
+    /// Fault-injected attempt drops observed.
+    pub dropped: u64,
+    /// Retransmissions observed.
+    pub retransmits: u64,
+    /// Duplicate copies suppressed by receiver dedup windows.
+    pub duplicates_suppressed: u64,
+    /// Attempts lost to scripted partitions.
+    pub partition_drops: u64,
 }
 
 impl TraceSummary {
@@ -139,6 +147,10 @@ impl TraceSummary {
                     s.messages += 1;
                     s.message_bytes += bytes as u64;
                 }
+                E::MessageDropped { .. } => s.dropped += 1,
+                E::MessageRetransmit { .. } => s.retransmits += 1,
+                E::MessageDuplicateSuppressed { .. } => s.duplicates_suppressed += 1,
+                E::LinkPartitioned { .. } => s.partition_drops += 1,
             }
         }
         s

@@ -56,30 +56,72 @@ impl<R: Send + Sync + 'static> JoinHandle<R> {
         self.obj
     }
 
+    /// Non-blocking probe: harvests the thread's result if it has already
+    /// terminated, or gives the handle back otherwise so the caller can
+    /// retry or fall back to a blocking [`join`](JoinHandle::join).
+    ///
+    /// Like `join`, a successful `try_join` consumes the handle, so the
+    /// result is harvested at most once by construction; a repeated join
+    /// is a compile error, not a runtime panic.
+    pub fn try_join(self, ctx: &Ctx) -> Result<R, JoinHandle<R>> {
+        let kernel = ctx.kernel();
+        let outcome = kernel.invoke_exclusive(ctx, &self.obj, |_, t| {
+            if t.finished {
+                t.result.take()
+            } else {
+                None
+            }
+        });
+        match outcome {
+            Some(r) => {
+                ProtocolStats::bump(&kernel.pstats.joins);
+                kernel.trace(|| amber_engine::ProtocolEvent::Join { thread: self.tid });
+                Ok(r)
+            }
+            None => Err(self),
+        }
+    }
+
     /// Blocks the calling thread until the started thread terminates and
     /// returns its result.
     ///
     /// Joining is an invocation on the thread object: if the thread object
     /// lives on another node, the joiner migrates there.
+    ///
+    /// If the result was already harvested through the raw thread object
+    /// (only possible from inside the runtime crate), the joiner parks on
+    /// a wait that can never be satisfied; the simulator reports that as
+    /// an [`EngineError::Deadlock`](amber_engine::EngineError) naming
+    /// `join-result-taken` — a defined error the caller sees, where this
+    /// used to panic the kernel with "thread result joined twice".
     pub fn join(self, ctx: &Ctx) -> R {
+        enum Outcome<R> {
+            Ready(R),
+            NotYet,
+            Taken,
+        }
         let kernel = ctx.kernel();
         loop {
             let me = must_current_thread();
             let outcome = kernel.invoke_exclusive(ctx, &self.obj, |_, t| {
-                if t.finished {
-                    Some(t.result.take().expect("thread result joined twice"))
-                } else {
+                if !t.finished {
                     t.waiters.push(me);
-                    None
+                    Outcome::NotYet
+                } else {
+                    match t.result.take() {
+                        Some(r) => Outcome::Ready(r),
+                        None => Outcome::Taken,
+                    }
                 }
             });
             match outcome {
-                Some(r) => {
+                Outcome::Ready(r) => {
                     ProtocolStats::bump(&kernel.pstats.joins);
                     kernel.trace(|| amber_engine::ProtocolEvent::Join { thread: self.tid });
                     return r;
                 }
-                None => kernel.park("join"),
+                Outcome::NotYet => kernel.park("join"),
+                Outcome::Taken => kernel.park("join-result-taken"),
             }
         }
     }
@@ -145,5 +187,53 @@ impl Kernel {
             obj: thread_obj,
             tid,
         }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::cluster::Cluster;
+    use amber_engine::SimTime;
+
+    #[test]
+    fn try_join_returns_handle_until_finished() {
+        let c = Cluster::sim(1, 2);
+        let got = c
+            .run(|ctx| {
+                let a = ctx.create(0u8);
+                let h = ctx.start(&a, |ctx, _| {
+                    ctx.sleep(SimTime::from_ms(5));
+                    42u32
+                });
+                let h = match h.try_join(ctx) {
+                    Ok(_) => panic!("thread cannot have finished yet"),
+                    Err(h) => h,
+                };
+                ctx.sleep(SimTime::from_ms(10));
+                h.try_join(ctx).expect("thread finished; result available")
+            })
+            .unwrap();
+        assert_eq!(got, 42);
+    }
+
+    #[test]
+    fn join_after_result_taken_is_deadlock_not_panic() {
+        let c = Cluster::sim(1, 2);
+        let err = c
+            .run(|ctx| {
+                let a = ctx.create(0u8);
+                let h = ctx.start(&a, |_, _| 7u32);
+                ctx.sleep(SimTime::from_ms(10));
+                // Steal the result through the raw thread object, the way a
+                // duplicated harvest would. This used to panic the kernel
+                // ("thread result joined twice"); now the join surfaces as
+                // a detected deadlock naming the wait.
+                let stolen = ctx.invoke(&h.object(), |_, t| t.result.take());
+                assert_eq!(stolen, Some(7));
+                h.join(ctx)
+            })
+            .unwrap_err();
+        let s = err.to_string();
+        assert!(s.contains("join-result-taken"), "{s}");
     }
 }

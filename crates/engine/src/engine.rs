@@ -57,6 +57,11 @@ pub struct ClusterSpec {
     pub nodes: Vec<NodeConfig>,
     /// Network latency model applied to every message.
     pub latency: LatencyModel,
+    /// Optional fault plan. When set, every message routes through the
+    /// fault-injection and reliable-delivery layer (see [`crate::FaultPlan`]);
+    /// when `None` the network is a perfect channel and the message path is
+    /// exactly the classic direct one.
+    pub fault: Option<crate::fault::FaultPlan>,
 }
 
 impl ClusterSpec {
@@ -68,6 +73,7 @@ impl ClusterSpec {
         ClusterSpec {
             nodes: vec![NodeConfig::new(processors); nodes],
             latency: LatencyModel::default(),
+            fault: None,
         }
     }
 
@@ -82,6 +88,14 @@ impl ClusterSpec {
         for n in &mut self.nodes {
             n.policy = policy;
         }
+        self
+    }
+
+    /// Installs a fault plan: messages are dropped, duplicated, jittered
+    /// and partitioned per the plan, and delivered at most once through the
+    /// reliability sublayer.
+    pub fn with_faults(mut self, plan: crate::fault::FaultPlan) -> Self {
+        self.fault = Some(plan);
         self
     }
 }

@@ -1,0 +1,639 @@
+//! Fault injection and reliable delivery for the message layer.
+//!
+//! The paper's Fireflies talked over real 10 Mbit Ethernet, where packets
+//! are dropped, duplicated, delayed and reordered; the engines' default
+//! message path models a perfect channel. A [`FaultPlan`] makes the channel
+//! imperfect on purpose: per-link drop/duplicate/jitter/reorder
+//! probabilities plus scripted partitions, all derived *deterministically*
+//! from a seed, so a chaos run under the simulator replays exactly.
+//!
+//! Installing a plan (see [`ClusterSpec::with_faults`]) also inserts a thin
+//! reliability sublayer between [`Engine::send`] and the kernel handlers:
+//!
+//! * every logical message gets a per-link sequence number;
+//! * the receiver keeps a dedup window (watermark + sparse set) and runs
+//!   the handler **at most once** per sequence number, suppressing wire
+//!   duplicates;
+//! * the sender retransmits on a timeout with exponential backoff until the
+//!   message is delivered or `max_attempts` is exhausted.
+//!
+//! Delivery acknowledgements ride the in-process control plane: the moment
+//! a copy is delivered the sender's outstanding entry is retired, modelling
+//! a free, loss-less ack channel. Because the initial retransmission
+//! timeout exceeds the worst-case delivery delay (latency + jitter +
+//! reorder penalty), a retransmission fires only when *no* copy of the
+//! previous attempt survived — so in the simulator every suppressed
+//! duplicate is one the plan injected, and the two counters reconcile
+//! exactly.
+//!
+//! All fault decisions are pure hashes of (seed, link, sequence, attempt),
+//! never a stateful RNG: the outcome of one message cannot perturb the
+//! fates of others, regardless of thread interleaving.
+//!
+//! [`ClusterSpec::with_faults`]: crate::ClusterSpec::with_faults
+//! [`Engine::send`]: crate::Engine::send
+
+use std::collections::{BTreeSet, HashMap};
+use std::sync::{Arc, Weak};
+
+use parking_lot::Mutex;
+
+use crate::engine::KernelFn;
+use crate::ids::NodeId;
+use crate::stats::NetStats;
+use crate::time::SimTime;
+use crate::trace::{ProtocolEvent, Tracer};
+use crate::LatencyModel;
+
+/// Fault probabilities for one directed link.
+///
+/// All probabilities are per *attempt* (an original transmission or a
+/// retransmission) and must lie in `[0, 1]`.
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub struct LinkFaults {
+    /// Probability an attempt is lost on the wire.
+    pub drop: f64,
+    /// Probability a surviving attempt is duplicated by the wire (both
+    /// copies arrive; the receiver suppresses one).
+    pub duplicate: f64,
+    /// Maximum extra delivery delay; each copy draws uniformly from
+    /// `[0, jitter]`.
+    pub jitter: SimTime,
+    /// Probability a surviving attempt is overtaken by later traffic,
+    /// modelled as one extra base latency of delay.
+    pub reorder: f64,
+}
+
+impl LinkFaults {
+    /// A perfectly reliable link (all rates zero).
+    pub const fn none() -> LinkFaults {
+        LinkFaults {
+            drop: 0.0,
+            duplicate: 0.0,
+            jitter: SimTime::ZERO,
+            reorder: 0.0,
+        }
+    }
+}
+
+impl Default for LinkFaults {
+    fn default() -> Self {
+        LinkFaults::none()
+    }
+}
+
+/// A scripted partition: the (bidirectional) link between `a` and `b` loses
+/// every attempt in the half-open window `[start, heal)`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct Partition {
+    /// One side of the severed link.
+    pub a: NodeId,
+    /// The other side.
+    pub b: NodeId,
+    /// Engine time at which the partition starts.
+    pub start: SimTime,
+    /// Engine time at which the link heals.
+    pub heal: SimTime,
+}
+
+impl Partition {
+    fn severs(&self, from: NodeId, to: NodeId, now: SimTime) -> bool {
+        let pair = (self.a == from && self.b == to) || (self.a == to && self.b == from);
+        pair && now >= self.start && now < self.heal
+    }
+}
+
+/// A deterministic description of an unreliable network.
+///
+/// Built with a fluent API and installed via
+/// [`ClusterSpec::with_faults`](crate::ClusterSpec::with_faults):
+///
+/// ```
+/// use amber_engine::{FaultPlan, LinkFaults, NodeId, SimTime};
+///
+/// let plan = FaultPlan::seeded(7)
+///     .drop_rate(0.05)
+///     .duplicate_rate(0.02)
+///     .jitter(SimTime::from_us(200))
+///     .partition(NodeId(0), NodeId(1), SimTime::from_ms(5), SimTime::from_ms(9));
+/// assert_eq!(plan.seed, 7);
+/// ```
+#[derive(Clone, Debug)]
+pub struct FaultPlan {
+    /// Seed from which every fault decision is derived.
+    pub seed: u64,
+    default_link: LinkFaults,
+    overrides: Vec<(NodeId, NodeId, LinkFaults)>,
+    partitions: Vec<Partition>,
+    /// Extra slack added to the retransmission timeout on top of the
+    /// worst-case modelled delivery delay.
+    rto_grace: SimTime,
+    max_attempts: u32,
+}
+
+impl FaultPlan {
+    /// A plan with the given seed and a perfectly reliable default link;
+    /// add faults with the builder methods.
+    pub fn seeded(seed: u64) -> FaultPlan {
+        FaultPlan {
+            seed,
+            default_link: LinkFaults::none(),
+            overrides: Vec::new(),
+            partitions: Vec::new(),
+            rto_grace: SimTime::from_ms(1),
+            max_attempts: 16,
+        }
+    }
+
+    /// Sets the default per-attempt drop probability on every link.
+    pub fn drop_rate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "drop rate must be in [0, 1]");
+        self.default_link.drop = p;
+        self
+    }
+
+    /// Sets the default per-attempt duplication probability on every link.
+    pub fn duplicate_rate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "duplicate rate must be in [0, 1]");
+        self.default_link.duplicate = p;
+        self
+    }
+
+    /// Sets the default delivery jitter bound on every link.
+    pub fn jitter(mut self, jitter: SimTime) -> Self {
+        self.default_link.jitter = jitter;
+        self
+    }
+
+    /// Sets the default per-attempt reorder probability on every link.
+    pub fn reorder_rate(mut self, p: f64) -> Self {
+        assert!((0.0..=1.0).contains(&p), "reorder rate must be in [0, 1]");
+        self.default_link.reorder = p;
+        self
+    }
+
+    /// Overrides the faults of the link between `a` and `b` (both
+    /// directions).
+    pub fn link(mut self, a: NodeId, b: NodeId, faults: LinkFaults) -> Self {
+        self.overrides.push((a, b, faults));
+        self
+    }
+
+    /// Scripts a partition of the `a`–`b` link over `[start, heal)`.
+    pub fn partition(mut self, a: NodeId, b: NodeId, start: SimTime, heal: SimTime) -> Self {
+        assert!(start <= heal, "partition must heal after it starts");
+        self.partitions.push(Partition { a, b, start, heal });
+        self
+    }
+
+    /// Sets the extra slack added to the initial retransmission timeout.
+    ///
+    /// The timeout is always at least the worst-case modelled delivery
+    /// delay plus this grace (default 1 ms), so retransmissions never race
+    /// copies that are still in flight.
+    pub fn rto_grace(mut self, grace: SimTime) -> Self {
+        self.rto_grace = grace;
+        self
+    }
+
+    /// Sets the per-message attempt budget (default 16). After this many
+    /// lost attempts the sender gives up and the message is lost for good —
+    /// under the simulator a waiter on such a message surfaces as a
+    /// detected deadlock rather than a silent hang.
+    pub fn max_attempts(mut self, n: u32) -> Self {
+        assert!(n > 0, "at least one attempt is required");
+        self.max_attempts = n;
+        self
+    }
+
+    /// The faults in force on the directed link `from -> to`.
+    pub fn faults_for(&self, from: NodeId, to: NodeId) -> LinkFaults {
+        for (a, b, f) in &self.overrides {
+            if (*a == from && *b == to) || (*a == to && *b == from) {
+                return *f;
+            }
+        }
+        self.default_link
+    }
+
+    /// `true` if a scripted partition severs `from -> to` at `now`.
+    pub fn partitioned(&self, from: NodeId, to: NodeId, now: SimTime) -> bool {
+        self.partitions.iter().any(|p| p.severs(from, to, now))
+    }
+
+    /// A uniform draw in `[0, 1)`, pure in all of its inputs.
+    fn unit(&self, from: NodeId, to: NodeId, seq: u64, attempt: u32, salt: u64) -> f64 {
+        let mut h = splitmix(self.seed ^ 0x9e37_79b9_7f4a_7c15);
+        for v in [
+            from.index() as u64,
+            to.index() as u64,
+            seq,
+            attempt as u64,
+            salt,
+        ] {
+            h = splitmix(h ^ v);
+        }
+        (h >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// SplitMix64 finalizer: a high-quality 64-bit mixing function.
+fn splitmix(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+const SALT_DROP: u64 = 1;
+const SALT_DUP: u64 = 2;
+const SALT_JITTER: u64 = 3;
+const SALT_REORDER: u64 = 4;
+const SALT_DUP_JITTER: u64 = 5;
+
+/// What the engines must provide for the fault layer to schedule copies and
+/// timers and to account what happens to them.
+pub(crate) trait Transport: Send + Sync {
+    /// Runs `f` in kernel (handler) context after `delay` of engine time.
+    fn after(&self, delay: SimTime, f: KernelFn);
+    /// The engine clock.
+    fn now(&self) -> SimTime;
+    /// The engine's per-node counters.
+    fn net_stats(&self) -> &NetStats;
+    /// The engine's tracer.
+    fn tracer(&self) -> &Tracer;
+}
+
+/// Per-link sender state: the next sequence number and the handlers of
+/// messages not yet known-delivered.
+#[derive(Default)]
+struct LinkSend {
+    next_seq: u64,
+    outstanding: HashMap<u64, KernelFn>,
+}
+
+/// Per-link receiver dedup window. Sequence numbers below `watermark` are
+/// all settled (delivered or given up); `above` holds the sparse settled
+/// set past the watermark, compacted as the watermark advances.
+#[derive(Default)]
+struct LinkRecv {
+    watermark: u64,
+    above: BTreeSet<u64>,
+}
+
+impl LinkRecv {
+    fn is_settled(&self, seq: u64) -> bool {
+        seq < self.watermark || self.above.contains(&seq)
+    }
+
+    fn settle(&mut self, seq: u64) {
+        if seq < self.watermark {
+            return;
+        }
+        self.above.insert(seq);
+        while self.above.remove(&self.watermark) {
+            self.watermark += 1;
+        }
+    }
+}
+
+#[derive(Default)]
+struct Links {
+    send: HashMap<(u16, u16), LinkSend>,
+    recv: HashMap<(u16, u16), LinkRecv>,
+}
+
+/// The reliable-delivery state machine an engine routes `send()` through
+/// when a [`FaultPlan`] is installed.
+pub(crate) struct FaultNet {
+    plan: FaultPlan,
+    latency: LatencyModel,
+    /// Back-reference to the owning engine. Weak: retransmission timers
+    /// outlive deliveries and must not keep a finished engine alive.
+    transport: Weak<dyn Transport>,
+    links: Mutex<Links>,
+}
+
+impl FaultNet {
+    pub(crate) fn new(
+        plan: FaultPlan,
+        latency: LatencyModel,
+        transport: Weak<dyn Transport>,
+    ) -> Arc<FaultNet> {
+        Arc::new(FaultNet {
+            plan,
+            latency,
+            transport,
+            links: Mutex::new(Links::default()),
+        })
+    }
+
+    /// Entry point from `Engine::send`: assigns the link sequence number,
+    /// fires the first attempt and arms the retransmission timer. The
+    /// caller has already recorded/traced the logical send.
+    pub(crate) fn send(
+        self: &Arc<Self>,
+        from: NodeId,
+        to: NodeId,
+        bytes: usize,
+        handler: KernelFn,
+    ) {
+        let key = (from.0, to.0);
+        let seq = {
+            let mut links = self.links.lock();
+            let link = links.send.entry(key).or_default();
+            let seq = link.next_seq;
+            link.next_seq += 1;
+            link.outstanding.insert(seq, handler);
+            seq
+        };
+        self.attempt(from, to, seq, bytes, 0);
+        self.arm_timer(from, to, seq, bytes, 0);
+    }
+
+    /// The worst-case modelled delivery delay of one copy: base latency,
+    /// full jitter, and the reorder penalty (one extra base latency).
+    fn max_copy_delay(&self, faults: &LinkFaults, bytes: usize) -> SimTime {
+        let base = self.latency.latency(bytes);
+        base + base + faults.jitter
+    }
+
+    /// Retransmission timeout after attempt `attempt`: worst-case delivery
+    /// delay plus grace, doubling per attempt (capped at 32x).
+    fn rto(&self, faults: &LinkFaults, bytes: usize, attempt: u32) -> SimTime {
+        let grace = self.plan.rto_grace.max(SimTime::from_us(1));
+        let base = self.max_copy_delay(faults, bytes) + grace;
+        base * (1u64 << attempt.min(5))
+    }
+
+    /// One transmission attempt: decides partition/drop fate, then
+    /// schedules the surviving copy (and its wire duplicate, if drawn).
+    fn attempt(self: &Arc<Self>, from: NodeId, to: NodeId, seq: u64, bytes: usize, attempt: u32) {
+        let Some(t) = self.transport.upgrade() else {
+            return;
+        };
+        let faults = self.plan.faults_for(from, to);
+        let now = t.now();
+        if self.plan.partitioned(from, to, now) {
+            t.net_stats().record_partition_drop(from.index());
+            t.tracer().emit(now, crate::engine::current_thread(), || {
+                ProtocolEvent::LinkPartitioned { from, to }
+            });
+            return;
+        }
+        if self.plan.unit(from, to, seq, attempt, SALT_DROP) < faults.drop {
+            t.net_stats().record_drop(from.index());
+            t.tracer().emit(now, crate::engine::current_thread(), || {
+                ProtocolEvent::MessageDropped { from, to, bytes }
+            });
+            return;
+        }
+        let base = self.latency.latency(bytes);
+        let jitter = faults
+            .jitter
+            .scale(self.plan.unit(from, to, seq, attempt, SALT_JITTER));
+        let mut delay = base + jitter;
+        if self.plan.unit(from, to, seq, attempt, SALT_REORDER) < faults.reorder {
+            // Overtaken by later traffic: one extra base latency.
+            delay += base;
+        }
+        self.schedule_copy(from, to, seq, delay, &t);
+        if self.plan.unit(from, to, seq, attempt, SALT_DUP) < faults.duplicate {
+            // The wire duplicated a surviving attempt: both copies arrive,
+            // so exactly one of them will be suppressed at the receiver.
+            t.net_stats().record_dup_injected(from.index());
+            let jitter2 =
+                faults
+                    .jitter
+                    .scale(self.plan.unit(from, to, seq, attempt, SALT_DUP_JITTER));
+            self.schedule_copy(from, to, seq, base + jitter2, &t);
+        }
+    }
+
+    fn schedule_copy(
+        self: &Arc<Self>,
+        from: NodeId,
+        to: NodeId,
+        seq: u64,
+        delay: SimTime,
+        t: &Arc<dyn Transport>,
+    ) {
+        let net = Arc::clone(self);
+        t.after(delay, Box::new(move || net.deliver_copy(from, to, seq)));
+    }
+
+    /// A copy reached the receiver: run the handler if this sequence number
+    /// has not been settled yet, suppress the copy otherwise.
+    fn deliver_copy(self: &Arc<Self>, from: NodeId, to: NodeId, seq: u64) {
+        let Some(t) = self.transport.upgrade() else {
+            return;
+        };
+        let key = (from.0, to.0);
+        let handler = {
+            let mut links = self.links.lock();
+            let recv = links.recv.entry(key).or_default();
+            if recv.is_settled(seq) {
+                None
+            } else {
+                recv.settle(seq);
+                // Settling doubles as the (free, in-process) delivery ack:
+                // retiring the outstanding entry stops retransmissions.
+                let h = links
+                    .send
+                    .get_mut(&key)
+                    .and_then(|l| l.outstanding.remove(&seq));
+                debug_assert!(h.is_some(), "first copy found no outstanding handler");
+                h
+            }
+        };
+        match handler {
+            // Run outside the links lock: handlers may send again.
+            Some(h) => h(),
+            None => {
+                t.net_stats().record_dup_suppressed(to.index());
+                t.tracer()
+                    .emit(t.now(), crate::engine::current_thread(), || {
+                        ProtocolEvent::MessageDuplicateSuppressed { from, to }
+                    });
+            }
+        }
+    }
+
+    fn arm_timer(self: &Arc<Self>, from: NodeId, to: NodeId, seq: u64, bytes: usize, attempt: u32) {
+        let Some(t) = self.transport.upgrade() else {
+            return;
+        };
+        let faults = self.plan.faults_for(from, to);
+        let net = Arc::clone(self);
+        t.after(
+            self.rto(&faults, bytes, attempt),
+            Box::new(move || net.timer_fired(from, to, seq, bytes, attempt)),
+        );
+    }
+
+    /// The retransmission timer for attempt `attempt` expired. If the
+    /// message is still outstanding every prior copy was lost (the timeout
+    /// exceeds the worst-case delivery delay), so retransmit — or give up
+    /// once the attempt budget is spent, settling the sequence number so
+    /// the receiver window can advance past it.
+    fn timer_fired(
+        self: &Arc<Self>,
+        from: NodeId,
+        to: NodeId,
+        seq: u64,
+        bytes: usize,
+        attempt: u32,
+    ) {
+        let Some(t) = self.transport.upgrade() else {
+            return;
+        };
+        let key = (from.0, to.0);
+        let retry = {
+            let mut links = self.links.lock();
+            let outstanding = links
+                .send
+                .get_mut(&key)
+                .is_some_and(|l| l.outstanding.contains_key(&seq));
+            if !outstanding {
+                false
+            } else if attempt + 1 >= self.plan.max_attempts {
+                if let Some(l) = links.send.get_mut(&key) {
+                    l.outstanding.remove(&seq);
+                }
+                links.recv.entry(key).or_default().settle(seq);
+                false
+            } else {
+                true
+            }
+        };
+        if retry {
+            t.net_stats().record_retransmit(from.index());
+            t.tracer()
+                .emit(t.now(), crate::engine::current_thread(), || {
+                    ProtocolEvent::MessageRetransmit {
+                        from,
+                        to,
+                        attempt: attempt + 1,
+                    }
+                });
+            self.attempt(from, to, seq, bytes, attempt + 1);
+            self.arm_timer(from, to, seq, bytes, attempt + 1);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn unit_draws_are_deterministic_and_uniformish() {
+        let plan = FaultPlan::seeded(42);
+        let a = plan.unit(NodeId(0), NodeId(1), 7, 0, SALT_DROP);
+        let b = plan.unit(NodeId(0), NodeId(1), 7, 0, SALT_DROP);
+        assert_eq!(a, b, "same inputs must draw the same value");
+        let c = plan.unit(NodeId(0), NodeId(1), 8, 0, SALT_DROP);
+        assert_ne!(a, c, "different sequence numbers must decorrelate");
+        // Coarse uniformity: over many draws the mean lands near 0.5.
+        let n = 10_000;
+        let sum: f64 = (0..n)
+            .map(|i| plan.unit(NodeId(0), NodeId(1), i, 0, SALT_JITTER))
+            .sum();
+        let mean = sum / n as f64;
+        assert!((mean - 0.5).abs() < 0.02, "mean {mean} too far from 0.5");
+        assert!((0.0..1.0).contains(&a));
+    }
+
+    #[test]
+    fn drop_rate_matches_probability_over_many_draws() {
+        let plan = FaultPlan::seeded(3).drop_rate(0.05);
+        let f = plan.faults_for(NodeId(0), NodeId(1));
+        let n = 20_000;
+        let dropped = (0..n)
+            .filter(|&i| plan.unit(NodeId(0), NodeId(1), i, 0, SALT_DROP) < f.drop)
+            .count();
+        let rate = dropped as f64 / n as f64;
+        assert!((rate - 0.05).abs() < 0.01, "observed drop rate {rate}");
+    }
+
+    #[test]
+    fn link_override_applies_both_directions() {
+        let bad = LinkFaults {
+            drop: 0.5,
+            ..LinkFaults::none()
+        };
+        let plan = FaultPlan::seeded(1).link(NodeId(0), NodeId(2), bad);
+        assert_eq!(plan.faults_for(NodeId(0), NodeId(2)).drop, 0.5);
+        assert_eq!(plan.faults_for(NodeId(2), NodeId(0)).drop, 0.5);
+        assert_eq!(plan.faults_for(NodeId(0), NodeId(1)).drop, 0.0);
+    }
+
+    #[test]
+    fn partition_window_is_half_open_and_bidirectional() {
+        let plan = FaultPlan::seeded(1).partition(
+            NodeId(0),
+            NodeId(1),
+            SimTime::from_ms(10),
+            SimTime::from_ms(20),
+        );
+        assert!(!plan.partitioned(NodeId(0), NodeId(1), SimTime::from_ms(9)));
+        assert!(plan.partitioned(NodeId(0), NodeId(1), SimTime::from_ms(10)));
+        assert!(plan.partitioned(NodeId(1), NodeId(0), SimTime::from_ms(19)));
+        assert!(!plan.partitioned(NodeId(0), NodeId(1), SimTime::from_ms(20)));
+        assert!(!plan.partitioned(NodeId(0), NodeId(2), SimTime::from_ms(15)));
+    }
+
+    #[test]
+    fn dedup_window_settles_and_compacts() {
+        let mut w = LinkRecv::default();
+        assert!(!w.is_settled(0));
+        w.settle(2);
+        assert!(w.is_settled(2));
+        assert!(!w.is_settled(0));
+        w.settle(0);
+        w.settle(1);
+        // Watermark swept past the contiguous prefix; the set is empty.
+        assert_eq!(w.watermark, 3);
+        assert!(w.above.is_empty());
+        assert!(w.is_settled(1));
+        // Re-settling below the watermark is a no-op.
+        w.settle(1);
+        assert_eq!(w.watermark, 3);
+    }
+
+    struct NullTransport;
+
+    impl Transport for NullTransport {
+        fn after(&self, _delay: SimTime, _f: KernelFn) {
+            unreachable!("null transport never schedules")
+        }
+        fn now(&self) -> SimTime {
+            SimTime::ZERO
+        }
+        fn net_stats(&self) -> &NetStats {
+            unreachable!("null transport has no stats")
+        }
+        fn tracer(&self) -> &Tracer {
+            unreachable!("null transport has no tracer")
+        }
+    }
+
+    #[test]
+    fn rto_exceeds_worst_case_delivery_and_backs_off() {
+        let plan = FaultPlan::seeded(0).jitter(SimTime::from_us(300));
+        let latency = LatencyModel::fixed(SimTime::from_ms(1));
+        let transport: Weak<NullTransport> = Weak::new();
+        let net = FaultNet {
+            plan: plan.clone(),
+            latency,
+            transport,
+            links: Mutex::new(Links::default()),
+        };
+        let f = plan.faults_for(NodeId(0), NodeId(1));
+        let worst = net.max_copy_delay(&f, 64);
+        assert!(net.rto(&f, 64, 0) > worst);
+        assert_eq!(net.rto(&f, 64, 1), net.rto(&f, 64, 0) * 2);
+        // The backoff is capped.
+        assert_eq!(net.rto(&f, 64, 5), net.rto(&f, 64, 9));
+    }
+}

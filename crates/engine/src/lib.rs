@@ -38,6 +38,7 @@
 
 mod cost;
 mod engine;
+mod fault;
 mod ids;
 mod real;
 mod sim;
@@ -52,6 +53,7 @@ pub use engine::{
     current_thread, must_current_thread, ClusterSpec, Engine, EngineError, EngineExt, EngineKind,
     KernelFn, NodeConfig, ThreadBody,
 };
+pub use fault::{FaultPlan, LinkFaults, Partition};
 pub use ids::{NodeId, ThreadId};
 pub use policy::PolicyKind;
 pub use real::RealEngine;

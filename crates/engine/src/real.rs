@@ -34,6 +34,7 @@ use crate::engine::{
     must_current_thread, ClusterSpec, CurrentGuard, Engine, EngineError, EngineKind, Gate,
     KernelFn, ThreadBody,
 };
+use crate::fault::{FaultNet, Transport};
 use crate::ids::{NodeId, ThreadId};
 use crate::policy::Scheduler;
 use crate::stats::NetStats;
@@ -155,6 +156,9 @@ struct RealInner {
 pub struct RealEngine {
     inner: Arc<RealInner>,
     deadline: Option<Duration>,
+    /// Present when the spec carries a [`crate::FaultPlan`]; every send
+    /// then routes through the fault-injection/reliability layer.
+    fault: Option<Arc<FaultNet>>,
 }
 
 impl RealEngine {
@@ -196,9 +200,14 @@ impl RealEngine {
             .name("amber-net".to_string())
             .spawn(move || net_loop(&net_inner))
             .expect("failed to spawn network thread");
+        let fault = spec.fault.map(|plan| {
+            let weak = Arc::downgrade(&inner);
+            FaultNet::new(plan, spec.latency, weak as std::sync::Weak<dyn Transport>)
+        });
         RealEngine {
             inner,
             deadline: None,
+            fault,
         }
     }
 
@@ -261,6 +270,43 @@ impl Drop for RealEngine {
     fn drop(&mut self) {
         self.inner.net.shutdown.store(true, Ordering::Release);
         self.inner.net.cv.notify_all();
+    }
+}
+
+impl RealInner {
+    /// Enqueues `f` on the timing wheel, due `delay` from now.
+    fn enqueue_net(&self, delay: Duration, f: KernelFn) {
+        let seq = {
+            let mut s = self.net_seq.lock();
+            let v = *s;
+            *s += 1;
+            v
+        };
+        let item = NetItem {
+            due: Instant::now() + delay,
+            seq,
+            handler: f,
+        };
+        self.net.heap.lock().push(Reverse(item));
+        self.net.cv.notify_all();
+    }
+}
+
+impl Transport for RealInner {
+    fn after(&self, delay: SimTime, f: KernelFn) {
+        self.enqueue_net(delay.to_duration(), f);
+    }
+
+    fn now(&self) -> SimTime {
+        SimTime::from_ns(self.epoch.elapsed().as_nanos() as u64)
+    }
+
+    fn net_stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 }
 
@@ -387,20 +433,12 @@ impl Engine for RealEngine {
             .emit(self.now(), crate::engine::current_thread(), || {
                 crate::trace::ProtocolEvent::MessageSend { from, to, bytes }
             });
+        if let Some(fault) = &self.fault {
+            fault.send(from, to, bytes, handler);
+            return;
+        }
         let delay = self.inner.latency.latency(bytes).to_duration();
-        let seq = {
-            let mut s = self.inner.net_seq.lock();
-            let v = *s;
-            *s += 1;
-            v
-        };
-        let item = NetItem {
-            due: Instant::now() + delay,
-            seq,
-            handler,
-        };
-        self.inner.net.heap.lock().push(Reverse(item));
-        self.inner.net.cv.notify_all();
+        self.inner.enqueue_net(delay, handler);
     }
 
     fn yield_now(&self) {

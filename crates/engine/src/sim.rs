@@ -32,6 +32,7 @@ use crate::engine::{
     must_current_thread, ClusterSpec, CurrentGuard, Engine, EngineError, EngineKind, Gate,
     KernelFn, ThreadBody,
 };
+use crate::fault::{FaultNet, Transport};
 use crate::ids::{NodeId, ThreadId};
 use crate::policy::Scheduler;
 use crate::stats::NetStats;
@@ -134,6 +135,9 @@ struct SimInner {
 /// Deterministic virtual-time engine. See the module docs.
 pub struct SimEngine {
     inner: Arc<SimInner>,
+    /// Present when the spec carries a [`crate::FaultPlan`]; every send
+    /// then routes through the fault-injection/reliability layer.
+    fault: Option<Arc<FaultNet>>,
 }
 
 impl SimEngine {
@@ -149,29 +153,32 @@ impl SimEngine {
             })
             .collect::<Vec<_>>();
         let stats = Arc::new(NetStats::new(nodes.len()));
-        SimEngine {
-            inner: Arc::new(SimInner {
-                state: Mutex::new(SimState {
-                    clock: SimTime::ZERO,
-                    seq: 0,
-                    events: BTreeMap::new(),
-                    runnable: VecDeque::new(),
-                    threads: HashMap::new(),
-                    nodes,
-                    active: None,
-                    live: 0,
-                    next_tid: 0,
-                    started: false,
-                    finished: false,
-                    error: None,
-                }),
-                dispatch_cv: Condvar::new(),
-                done_cv: Condvar::new(),
-                stats,
-                latency: spec.latency,
-                tracer: Tracer::new(),
+        let inner = Arc::new(SimInner {
+            state: Mutex::new(SimState {
+                clock: SimTime::ZERO,
+                seq: 0,
+                events: BTreeMap::new(),
+                runnable: VecDeque::new(),
+                threads: HashMap::new(),
+                nodes,
+                active: None,
+                live: 0,
+                next_tid: 0,
+                started: false,
+                finished: false,
+                error: None,
             }),
-        }
+            dispatch_cv: Condvar::new(),
+            done_cv: Condvar::new(),
+            stats,
+            latency: spec.latency,
+            tracer: Tracer::new(),
+        });
+        let fault = spec.fault.map(|plan| {
+            let weak = Arc::downgrade(&inner);
+            FaultNet::new(plan, spec.latency, weak as std::sync::Weak<dyn Transport>)
+        });
+        SimEngine { inner, fault }
     }
 
     /// Convenience: a uniform cluster with the given latency model.
@@ -335,6 +342,33 @@ impl SimInner {
             self.finish(&mut st, Some(EngineError::Deadlock { at, blocked }));
             return;
         }
+    }
+}
+
+impl Transport for SimInner {
+    /// Schedules `f` as a delivery event `delay` past the current virtual
+    /// instant. Called with the state lock *not* held (the fault layer is
+    /// entered only after `send` releases it); in the simulator the clock
+    /// cannot advance in between, because the caller is either the active
+    /// thread (holding the baton) or a handler running in dispatcher
+    /// context, so fault scheduling stays deterministic.
+    fn after(&self, delay: SimTime, f: KernelFn) {
+        let mut st = self.state.lock();
+        let at = st.clock + delay;
+        st.push_event(at, Event::Deliver { handler: f });
+        self.dispatch_cv.notify_one();
+    }
+
+    fn now(&self) -> SimTime {
+        self.state.lock().clock
+    }
+
+    fn net_stats(&self) -> &NetStats {
+        &self.stats
+    }
+
+    fn tracer(&self) -> &Tracer {
+        &self.tracer
     }
 }
 
@@ -527,6 +561,13 @@ impl Engine for SimEngine {
             .emit(st.clock, crate::engine::current_thread(), || {
                 crate::trace::ProtocolEvent::MessageSend { from, to, bytes }
             });
+        if let Some(fault) = &self.fault {
+            // The fault layer re-enters the state lock to schedule copies
+            // and timers; release it first (it is not reentrant).
+            drop(st);
+            fault.send(from, to, bytes, handler);
+            return;
+        }
         let delay = self.inner.latency.latency(bytes);
         let at = st.clock + delay;
         st.push_event(at, Event::Deliver { handler });
@@ -829,6 +870,166 @@ mod tests {
             (t, e.stats().total_msgs(), e.stats().total_dispatches())
         }
         assert_eq!(run_once(), run_once());
+    }
+
+    /// One-way reliable send: fires `n` messages and blocks until every
+    /// handler has run, so lost messages hang (and the deadline/deadlock
+    /// machinery reports them) rather than passing silently.
+    fn pingstorm(e: &Arc<SimEngine>, n: u64) {
+        use std::sync::atomic::{AtomicU64, Ordering};
+        let me = must_current_thread();
+        let got = Arc::new(AtomicU64::new(0));
+        for i in 0..n {
+            let e2 = Arc::clone(e);
+            let got2 = Arc::clone(&got);
+            e.send(
+                NodeId(0),
+                NodeId(1),
+                64 + (i as usize % 7),
+                Box::new(move || {
+                    got2.fetch_add(1, Ordering::Release);
+                    e2.unblock_kernel(me);
+                }),
+            );
+        }
+        while got.load(Ordering::Acquire) < n {
+            e.block_kernel("await-pingstorm");
+        }
+    }
+
+    #[test]
+    fn faulty_link_retransmits_until_delivered() {
+        let spec = ClusterSpec::uniform(2, 1)
+            .with_latency(LatencyModel::fixed(SimTime::from_ms(1)))
+            .with_faults(crate::FaultPlan::seeded(11).drop_rate(0.4));
+        let e = Arc::new(SimEngine::new(spec));
+        let e2 = Arc::clone(&e);
+        e.run(NodeId(0), move || pingstorm(&e2, 200)).unwrap();
+        // With a 40% drop rate some first attempts were certainly lost...
+        assert!(e.stats().total_drops() > 0, "no drops at 40% loss");
+        assert!(e.stats().total_retransmits() > 0, "no retransmissions");
+        // ...yet the logical message count stays one per send.
+        assert_eq!(e.stats().total_msgs(), 200);
+    }
+
+    #[test]
+    fn duplicates_are_suppressed_exactly() {
+        let spec = ClusterSpec::uniform(2, 1)
+            .with_latency(LatencyModel::fixed(SimTime::from_ms(1)))
+            .with_faults(crate::FaultPlan::seeded(5).duplicate_rate(1.0));
+        let e = Arc::new(SimEngine::new(spec));
+        let e2 = Arc::clone(&e);
+        e.run(NodeId(0), move || {
+            pingstorm(&e2, 50);
+            // Let the trailing duplicate copies land before the run ends.
+            e2.sleep(SimTime::from_ms(10));
+        })
+        .unwrap();
+        assert_eq!(e.stats().total_dups_injected(), 50);
+        assert_eq!(
+            e.stats().total_dups_suppressed(),
+            e.stats().total_dups_injected(),
+            "every injected duplicate must be suppressed, none double-handled"
+        );
+    }
+
+    #[test]
+    fn partition_heals_and_messages_get_through() {
+        let spec = ClusterSpec::uniform(2, 1)
+            .with_latency(LatencyModel::fixed(SimTime::from_ms(1)))
+            .with_faults(crate::FaultPlan::seeded(9).partition(
+                NodeId(0),
+                NodeId(1),
+                SimTime::ZERO,
+                SimTime::from_ms(40),
+            ));
+        let e = Arc::new(SimEngine::new(spec));
+        let e2 = Arc::clone(&e);
+        let elapsed = e
+            .run(NodeId(0), move || {
+                pingstorm(&e2, 3);
+                e2.now()
+            })
+            .unwrap();
+        // Nothing crossed the link before the partition healed.
+        assert!(
+            elapsed >= SimTime::from_ms(40),
+            "delivered through a partition: {elapsed}"
+        );
+        assert!(e.stats().total_partition_drops() >= 3);
+        assert!(e.stats().total_retransmits() >= 3);
+    }
+
+    #[test]
+    fn zero_rate_fault_plan_changes_nothing_observable() {
+        let spec = ClusterSpec::uniform(2, 1)
+            .with_latency(LatencyModel::fixed(SimTime::from_ms(3)))
+            .with_faults(crate::FaultPlan::seeded(1));
+        let e = Arc::new(SimEngine::new(spec));
+        let e2 = Arc::clone(&e);
+        let elapsed = e
+            .run(NodeId(0), move || {
+                let t0 = e2.now();
+                pingstorm(&e2, 1);
+                e2.now() - t0
+            })
+            .unwrap();
+        assert_eq!(elapsed, SimTime::from_ms(3), "latency model not honoured");
+        assert_eq!(e.stats().total_msgs(), 1);
+        assert_eq!(e.stats().total_drops(), 0);
+        assert_eq!(e.stats().total_retransmits(), 0);
+    }
+
+    #[test]
+    fn seeded_chaos_is_deterministic() {
+        fn run_once() -> (SimTime, u64, u64, u64) {
+            let spec = ClusterSpec::uniform(2, 1)
+                .with_latency(LatencyModel::fixed(SimTime::from_ms(1)))
+                .with_faults(
+                    crate::FaultPlan::seeded(1234)
+                        .drop_rate(0.2)
+                        .duplicate_rate(0.1)
+                        .jitter(SimTime::from_us(700))
+                        .reorder_rate(0.1),
+                );
+            let e = Arc::new(SimEngine::new(spec));
+            let e2 = Arc::clone(&e);
+            let t = e
+                .run(NodeId(0), move || {
+                    pingstorm(&e2, 100);
+                    e2.now()
+                })
+                .unwrap();
+            (
+                t,
+                e.stats().total_drops(),
+                e.stats().total_retransmits(),
+                e.stats().total_dups_suppressed(),
+            )
+        }
+        assert_eq!(run_once(), run_once());
+    }
+
+    #[test]
+    fn exhausted_attempts_surface_as_deadlock_not_hang() {
+        // A link that always drops: the sender's wait can never be
+        // satisfied, and once the bounded retransmissions stop, the event
+        // queue drains and the simulator reports the deadlock.
+        let spec = ClusterSpec::uniform(2, 1)
+            .with_latency(LatencyModel::fixed(SimTime::from_ms(1)))
+            .with_faults(crate::FaultPlan::seeded(2).drop_rate(1.0).max_attempts(4));
+        let e = Arc::new(SimEngine::new(spec));
+        let e2 = Arc::clone(&e);
+        let err = e.run(NodeId(0), move || pingstorm(&e2, 1)).unwrap_err();
+        match err {
+            EngineError::Deadlock { blocked, .. } => {
+                assert_eq!(blocked.len(), 1);
+                assert!(blocked[0].1.contains("await-pingstorm"), "{blocked:?}");
+            }
+            other => panic!("expected deadlock, got {other}"),
+        }
+        assert_eq!(e.stats().total_drops(), 4, "attempt budget not honoured");
+        assert_eq!(e.stats().total_retransmits(), 3);
     }
 
     #[test]

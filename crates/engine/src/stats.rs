@@ -21,6 +21,17 @@ pub struct NodeCounters {
     pub dispatches: AtomicU64,
     /// Timeslice preemptions on this node.
     pub preemptions: AtomicU64,
+    /// Transmission attempts from this node lost to the fault plan's drop
+    /// probability.
+    pub drops: AtomicU64,
+    /// Retransmissions initiated by this node after a delivery timeout.
+    pub retransmits: AtomicU64,
+    /// Wire duplications injected on attempts sent from this node.
+    pub dups_injected: AtomicU64,
+    /// Duplicate copies suppressed by this node's receive dedup window.
+    pub dups_suppressed: AtomicU64,
+    /// Transmission attempts from this node lost to a scripted partition.
+    pub partition_drops: AtomicU64,
 }
 
 /// A plain-data snapshot of one node's counters.
@@ -36,6 +47,16 @@ pub struct NodeSnapshot {
     pub dispatches: u64,
     /// Timeslice preemptions on this node.
     pub preemptions: u64,
+    /// Transmission attempts lost to the drop probability.
+    pub drops: u64,
+    /// Retransmissions initiated after a delivery timeout.
+    pub retransmits: u64,
+    /// Wire duplications injected on attempts from this node.
+    pub dups_injected: u64,
+    /// Duplicate copies suppressed by this node's dedup window.
+    pub dups_suppressed: u64,
+    /// Transmission attempts lost to a scripted partition.
+    pub partition_drops: u64,
 }
 
 /// Shared, lock-free statistics for a whole cluster.
@@ -74,6 +95,37 @@ impl NetStats {
         self.nodes[node].preemptions.fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one fault-injected drop of an attempt sent by `node`.
+    pub fn record_drop(&self, node: usize) {
+        self.nodes[node].drops.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one retransmission initiated by `node`.
+    pub fn record_retransmit(&self, node: usize) {
+        self.nodes[node].retransmits.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one wire duplication injected on an attempt from `node`.
+    pub fn record_dup_injected(&self, node: usize) {
+        self.nodes[node]
+            .dups_injected
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one duplicate copy suppressed by `node`'s dedup window.
+    pub fn record_dup_suppressed(&self, node: usize) {
+        self.nodes[node]
+            .dups_suppressed
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Records one attempt from `node` lost to a scripted partition.
+    pub fn record_partition_drop(&self, node: usize) {
+        self.nodes[node]
+            .partition_drops
+            .fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Number of nodes covered.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -88,6 +140,11 @@ impl NetStats {
             bytes_out: n.bytes_out.load(Ordering::Relaxed),
             dispatches: n.dispatches.load(Ordering::Relaxed),
             preemptions: n.preemptions.load(Ordering::Relaxed),
+            drops: n.drops.load(Ordering::Relaxed),
+            retransmits: n.retransmits.load(Ordering::Relaxed),
+            dups_injected: n.dups_injected.load(Ordering::Relaxed),
+            dups_suppressed: n.dups_suppressed.load(Ordering::Relaxed),
+            partition_drops: n.partition_drops.load(Ordering::Relaxed),
         }
     }
 
@@ -112,6 +169,46 @@ impl NetStats {
         self.nodes
             .iter()
             .map(|n| n.dispatches.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total fault-injected drops cluster-wide.
+    pub fn total_drops(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.drops.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total retransmissions cluster-wide.
+    pub fn total_retransmits(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.retransmits.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total wire duplications injected cluster-wide.
+    pub fn total_dups_injected(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.dups_injected.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total duplicate copies suppressed cluster-wide.
+    pub fn total_dups_suppressed(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.dups_suppressed.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total attempts lost to scripted partitions cluster-wide.
+    pub fn total_partition_drops(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.partition_drops.load(Ordering::Relaxed))
             .sum()
     }
 }

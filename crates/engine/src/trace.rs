@@ -138,6 +138,39 @@ pub enum ProtocolEvent {
         /// Payload bytes.
         bytes: usize,
     },
+    /// A transmission attempt lost by the fault plan's drop probability.
+    MessageDropped {
+        /// Sending node.
+        from: NodeId,
+        /// Intended receiver.
+        to: NodeId,
+        /// Payload bytes that were lost.
+        bytes: usize,
+    },
+    /// The reliability sublayer retransmitted a message whose every prior
+    /// attempt was lost.
+    MessageRetransmit {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// The attempt number of this (re)transmission (1 = first retry).
+        attempt: u32,
+    },
+    /// The receiver's dedup window suppressed a wire-duplicated copy.
+    MessageDuplicateSuppressed {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node that suppressed the copy.
+        to: NodeId,
+    },
+    /// A transmission attempt lost to a scripted partition.
+    LinkPartitioned {
+        /// Sending node.
+        from: NodeId,
+        /// Unreachable receiver.
+        to: NodeId,
+    },
 }
 
 impl ProtocolEvent {
@@ -158,6 +191,10 @@ impl ProtocolEvent {
             ProtocolEvent::ThreadStart { .. } => "thread_start",
             ProtocolEvent::Join { .. } => "join",
             ProtocolEvent::MessageSend { .. } => "message_send",
+            ProtocolEvent::MessageDropped { .. } => "message_dropped",
+            ProtocolEvent::MessageRetransmit { .. } => "message_retransmit",
+            ProtocolEvent::MessageDuplicateSuppressed { .. } => "message_duplicate_suppressed",
+            ProtocolEvent::LinkPartitioned { .. } => "link_partitioned",
         }
     }
 
@@ -176,7 +213,11 @@ impl ProtocolEvent {
             | ProtocolEvent::Replication { to, .. } => to,
             ProtocolEvent::ForwardHop { at, .. } | ProtocolEvent::HomeRoute { at, .. } => at,
             ProtocolEvent::Join { .. } => NodeId(0),
-            ProtocolEvent::MessageSend { from, .. } => from,
+            ProtocolEvent::MessageSend { from, .. }
+            | ProtocolEvent::MessageDropped { from, .. }
+            | ProtocolEvent::MessageRetransmit { from, .. }
+            | ProtocolEvent::LinkPartitioned { from, .. } => from,
+            ProtocolEvent::MessageDuplicateSuppressed { to, .. } => to,
         }
     }
 }
@@ -390,13 +431,26 @@ fn push_args(out: &mut String, event: &ProtocolEvent) {
         ProtocolEvent::Join { thread } => {
             let _ = write!(out, "\"thread\":{}", thread.0);
         }
-        ProtocolEvent::MessageSend { from, to, bytes } => {
+        ProtocolEvent::MessageSend { from, to, bytes }
+        | ProtocolEvent::MessageDropped { from, to, bytes } => {
             let _ = write!(
                 out,
                 "\"from\":{},\"to\":{},\"bytes\":{bytes}",
                 from.index(),
                 to.index()
             );
+        }
+        ProtocolEvent::MessageRetransmit { from, to, attempt } => {
+            let _ = write!(
+                out,
+                "\"from\":{},\"to\":{},\"attempt\":{attempt}",
+                from.index(),
+                to.index()
+            );
+        }
+        ProtocolEvent::MessageDuplicateSuppressed { from, to }
+        | ProtocolEvent::LinkPartitioned { from, to } => {
+            let _ = write!(out, "\"from\":{},\"to\":{}", from.index(), to.index());
         }
     }
 }

@@ -78,7 +78,17 @@ impl Placer for ProportionalToProcessors {
         }
         let mut total = 0.0;
         for (i, c) in self.credit.iter_mut().enumerate() {
+            // Weights flow into the accumulated credits, so both are
+            // sanitized: a non-finite weight (a degenerate node spec, e.g.
+            // a capacity ratio divided by a zero-capacity total) or a
+            // poisoned credit previously made the comparison below panic
+            // the scheduler via `partial_cmp(..).expect(..)`. A bad value
+            // resets to zero and placement degrades to a fair split.
             let w = ctx.processors(NodeId::from(i)) as f64;
+            let w = if w.is_finite() { w } else { 0.0 };
+            if !c.is_finite() {
+                *c = 0.0;
+            }
             *c += w;
             total += w;
         }
@@ -86,7 +96,7 @@ impl Placer for ProportionalToProcessors {
             .credit
             .iter()
             .enumerate()
-            .max_by(|a, b| a.1.partial_cmp(b.1).expect("credits are finite"))
+            .max_by(|a, b| a.1.total_cmp(b.1))
             .map(|(i, _)| i)
             .expect("at least one node");
         self.credit[best] -= total;
@@ -361,6 +371,25 @@ mod tests {
                 locs,
                 vec![NodeId(0), NodeId(1), NodeId(2), NodeId(0), NodeId(1)]
             );
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn nan_poisoned_credits_are_sanitized_not_fatal() {
+        let c = Cluster::builder().nodes(2).processors(1).build();
+        c.run(|ctx| {
+            let mut p = ProportionalToProcessors::new();
+            p.place(ctx);
+            // Poison the accumulated credits the way a degenerate weight
+            // computation (division by a zero-capacity total) would.
+            p.credit = vec![f64::NAN, f64::NEG_INFINITY];
+            // Previously: panic at `partial_cmp(..).expect("credits are
+            // finite")`. Now the bad credits reset and placement resumes
+            // as a fair split.
+            let seq: Vec<_> = (0..4).map(|_| p.place(ctx)).collect();
+            let on0 = seq.iter().filter(|n| **n == NodeId(0)).count();
+            assert_eq!(on0, 2, "fair split after sanitization: {seq:?}");
         })
         .unwrap();
     }

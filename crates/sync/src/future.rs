@@ -48,18 +48,23 @@ impl<T: Send + Sync + 'static> FutureCell<T> {
 
     /// Fulfills the future, waking every waiter.
     ///
-    /// # Panics
-    ///
-    /// Panics if the future was already fulfilled.
-    pub fn fulfill(&self, ctx: &Ctx, value: T) {
-        let to_wake = ctx.invoke(&self.state, move |_, s| {
-            assert!(s.value.is_none(), "future fulfilled twice");
-            s.value = Some(value);
-            std::mem::take(&mut s.waiters)
+    /// Returns `true` if this call installed the value. A second fulfill
+    /// is rejected: the new value is dropped, the original is kept, and
+    /// `false` comes back — a defined outcome instead of a runtime panic,
+    /// so a retried or duplicated producer cannot take the kernel down.
+    pub fn fulfill(&self, ctx: &Ctx, value: T) -> bool {
+        let (installed, to_wake) = ctx.invoke(&self.state, move |_, s| {
+            if s.value.is_some() {
+                (false, Vec::new())
+            } else {
+                s.value = Some(value);
+                (true, std::mem::take(&mut s.waiters))
+            }
         });
         for t in to_wake {
             ctx.unpark(t);
         }
+        installed
     }
 
     /// Blocks until fulfilled, then returns `f` applied to the value.
@@ -199,16 +204,17 @@ mod tests {
     }
 
     #[test]
-    fn double_fulfill_is_an_error() {
+    fn double_fulfill_is_rejected_not_fatal() {
         let c = Cluster::sim(1, 1);
-        let err = c
+        let got = c
             .run(|ctx| {
                 let fut: FutureCell<u32> = FutureCell::new(ctx);
-                fut.fulfill(ctx, 1);
-                fut.fulfill(ctx, 2);
+                assert!(fut.fulfill(ctx, 1), "first fulfill installs");
+                assert!(!fut.fulfill(ctx, 2), "second fulfill is rejected");
+                fut.get(ctx, |v| *v)
             })
-            .unwrap_err();
-        assert!(err.to_string().contains("fulfilled twice"), "{err}");
+            .unwrap();
+        assert_eq!(got, 1, "original value survives the rejected fulfill");
     }
 
     #[test]

@@ -133,24 +133,32 @@ impl NodeHeap {
             return Err(HeapError::TooLarge { requested: size });
         }
         // First fit from the free pool: the smallest free block that is
-        // large enough, reused whole.
-        let fit = self.free.range(size..).next().map(|(s, _)| *s);
-        if let Some(block_size) = fit {
-            let queue = self.free.get_mut(&block_size).expect("size class vanished");
-            let addr = queue.pop_front().expect("empty size class left behind");
+        // large enough, reused whole. The scan is self-healing rather than
+        // panicking: an empty size class or a free-list entry with no block
+        // identity (or one pointing at a live block) indicates pool
+        // corruption, and such entries are discarded so one bad entry
+        // cannot take the whole node down. Each iteration either removes a
+        // class or pops an entry, so the loop terminates.
+        while let Some((&block_size, queue)) = self.free.range_mut(size..).next() {
+            let Some(addr) = queue.pop_front() else {
+                // An empty size class left behind: drop it and keep going.
+                self.free.remove(&block_size);
+                continue;
+            };
             if queue.is_empty() {
                 self.free.remove(&block_size);
             }
-            let b = self
-                .blocks
-                .get_mut(&addr)
-                .expect("free block without identity");
-            debug_assert!(!b.live, "free list held a live block");
-            b.live = true;
-            self.live_bytes += b.size;
-            self.alloc_count += 1;
-            self.reuse_count += 1;
-            return Ok(addr);
+            match self.blocks.get_mut(&addr) {
+                Some(b) if !b.live => {
+                    b.live = true;
+                    self.live_bytes += b.size;
+                    self.alloc_count += 1;
+                    self.reuse_count += 1;
+                    return Ok(addr);
+                }
+                // No identity, or already live: a corrupt entry. Skip it.
+                _ => continue,
+            }
         }
         // Bump from the current region.
         match self.current {
@@ -309,6 +317,35 @@ mod tests {
             h.alloc(REGION_BYTES + 1),
             Err(HeapError::TooLarge { .. })
         ));
+    }
+
+    #[test]
+    fn empty_size_class_is_healed_not_fatal() {
+        let mut h = heap_with_region(16);
+        // Simulate pool corruption: a size class with no blocks in it.
+        h.free.insert(64, VecDeque::new());
+        // Previously this panicked ("empty size class left behind"); now
+        // the corrupt class is discarded and the bump path serves the
+        // request.
+        let a = h.alloc(32).unwrap();
+        assert_eq!(h.size_of(a), Some(32));
+        assert!(!h.free.contains_key(&64), "corrupt class was discarded");
+        assert_eq!(h.reuse_count(), 0);
+    }
+
+    #[test]
+    fn free_entry_without_identity_is_skipped() {
+        let mut h = heap_with_region(16);
+        let real = h.alloc(128).unwrap();
+        h.free(real).unwrap();
+        // A corrupt entry with no block identity sits ahead of the real
+        // block in its size class. Previously this panicked ("free block
+        // without identity"); now the entry is dropped and the scan moves
+        // on to the intact block.
+        h.free.get_mut(&128).unwrap().push_front(VAddr(0xDEAD0));
+        let a = h.alloc(64).unwrap();
+        assert_eq!(a, real, "scan reused the real block");
+        assert_eq!(h.reuse_count(), 1);
     }
 
     #[test]
