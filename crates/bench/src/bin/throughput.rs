@@ -3,13 +3,22 @@
 //! Measures wall-clock ops/sec of the kernel hot paths (local invoke, and a
 //! mixed invoke/locate/move blend) on `RealEngine` at 1/2/4/8 nodes, then
 //! merges the numbers into `BENCH_throughput.json` under a kernel label.
+//! Every run *also* re-records the `adaptive-placement` label: the same
+//! local-invoke sweep with the traffic advisor running (pricing its
+//! bookkeeping), plus the skewed-traffic scenario at 2/4/8 nodes with the
+//! advisor off and on, so `throughput_check` can gate on how many forward
+//! hops and thread migrations adaptive placement removes.
 //!
 //! Environment switches:
 //!
 //! * `AMBER_KERNEL_LABEL` — label this run is stored under (default
 //!   `current`); the baseline commit was recorded as `global-lock`.
 //! * `AMBER_THROUGHPUT_ITERS` — per-worker local-invoke iterations
-//!   (default 20000; the mixed and lossy scenarios run a tenth of that).
+//!   (default 20000, floored at 5000 so the overhead gate always measures
+//!   a meaningful window; the mixed and lossy scenarios run a tenth of
+//!   the raw value, the skewed scenarios half, floored at 2000 so the
+//!   advisor's tick and call thresholds are crossed even in CI's smoke
+//!   run).
 //! * `AMBER_BENCH_OUT` — output path (default `BENCH_throughput.json`).
 //!   CI's smoke run points this at a scratch file.
 //!
@@ -19,7 +28,8 @@
 //! retransmission stalls.
 
 use amber_bench::throughput::{
-    run_local_invoke, run_lossy_invoke, run_mixed, write_merged, LOSS_PERCENTS, NODE_COUNTS,
+    run_local_invoke, run_lossy_invoke, run_mixed, run_skewed_invoke, write_merged, Point,
+    LOSS_PERCENTS, NODE_COUNTS,
 };
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -29,54 +39,75 @@ fn env_u64(name: &str, default: u64) -> u64 {
         .unwrap_or(default)
 }
 
+fn row(p: &Point) -> Vec<String> {
+    vec![
+        p.scenario.to_string(),
+        p.nodes.to_string(),
+        p.ops.to_string(),
+        format!("{:.1} ms", p.elapsed.as_secs_f64() * 1e3),
+        format!("{:.0}", p.ops_per_sec()),
+        p.forward_hops.to_string(),
+        p.thread_migrations.to_string(),
+    ]
+}
+
+const COLUMNS: [&str; 7] = [
+    "scenario",
+    "nodes",
+    "ops",
+    "elapsed",
+    "ops/sec",
+    "fwd hops",
+    "migrations",
+];
+
 fn main() {
     let label = std::env::var("AMBER_KERNEL_LABEL").unwrap_or_else(|_| "current".to_string());
     let iters = env_u64("AMBER_THROUGHPUT_ITERS", 20_000);
+    // local_invoke feeds throughput_check's 10%-overhead gate, so its timed
+    // window must stay meaningful (a few ms) even in CI's 200-iteration
+    // smoke run; below ~5k iters the measurement is thread-startup noise.
+    let local_iters = iters.max(5_000);
     let mixed_iters = (iters / 10).max(10);
+    let skew_iters = (iters / 2).max(2_000);
     let out = std::env::var("AMBER_BENCH_OUT").unwrap_or_else(|_| "BENCH_throughput.json".into());
 
+    // The advisor-on local-invoke run is paired immediately after its
+    // advisor-off counterpart: throughput_check compares the two, and
+    // back-to-back measurement keeps CPU frequency drift from biasing
+    // one side of the comparison.
     let mut points = Vec::new();
-    let mut rows = Vec::new();
+    let mut apoints = Vec::new();
     for &n in &NODE_COUNTS {
-        let p = run_local_invoke(n, iters);
-        rows.push(vec![
-            p.scenario.to_string(),
-            n.to_string(),
-            p.ops.to_string(),
-            format!("{:.1} ms", p.elapsed.as_secs_f64() * 1e3),
-            format!("{:.0}", p.ops_per_sec()),
-        ]);
-        points.push(p);
-        let p = run_mixed(n, mixed_iters);
-        rows.push(vec![
-            p.scenario.to_string(),
-            n.to_string(),
-            p.ops.to_string(),
-            format!("{:.1} ms", p.elapsed.as_secs_f64() * 1e3),
-            format!("{:.0}", p.ops_per_sec()),
-        ]);
-        points.push(p);
+        points.push(run_local_invoke(n, local_iters, false));
+        apoints.push(run_local_invoke(n, local_iters, true));
+        points.push(run_mixed(n, mixed_iters));
     }
     for &loss in &LOSS_PERCENTS {
-        let p = run_lossy_invoke(2, mixed_iters, loss);
-        rows.push(vec![
-            p.scenario.to_string(),
-            p.nodes.to_string(),
-            p.ops.to_string(),
-            format!("{:.1} ms", p.elapsed.as_secs_f64() * 1e3),
-            format!("{:.0}", p.ops_per_sec()),
-        ]);
-        points.push(p);
+        points.push(run_lossy_invoke(2, mixed_iters, loss));
     }
-
     amber_bench::print_table(
         &format!("Invoke throughput (RealEngine, kernel = {label})"),
-        &["scenario", "nodes", "ops", "elapsed", "ops/sec"],
-        &rows,
+        &COLUMNS,
+        &points.iter().map(row).collect::<Vec<_>>(),
+    );
+
+    // The rest of the adaptive-placement label: the skewed scenario static
+    // vs. adaptive (the traffic the advisor exists to eliminate).
+    for n in [2usize, 4, 8] {
+        apoints.push(run_skewed_invoke(n, skew_iters, false));
+        apoints.push(run_skewed_invoke(n, skew_iters, true));
+    }
+    amber_bench::print_table(
+        "Adaptive placement (RealEngine, kernel = adaptive-placement)",
+        &COLUMNS,
+        &apoints.iter().map(row).collect::<Vec<_>>(),
     );
 
     let path = std::path::PathBuf::from(out);
-    match write_merged(&path, &label, &points) {
+    let wrote = write_merged(&path, &label, &points)
+        .and_then(|()| write_merged(&path, "adaptive-placement", &apoints));
+    match wrote {
         Ok(()) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),
     }

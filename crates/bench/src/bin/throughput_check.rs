@@ -1,0 +1,126 @@
+//! CI gate over `BENCH_throughput.json`: did adaptive placement earn its
+//! keep?
+//!
+//! Reads the file written by the `throughput` binary (path as the first
+//! argument, default `BENCH_throughput.json`) and fails the build unless:
+//!
+//! 1. the `adaptive-placement` label's `local_invoke` throughput is within
+//!    10% of the `reliable-net` baseline's — the advisor's counter bumps
+//!    and idle ticks must be nearly free on an already-local workload. The
+//!    comparison is the median of the per-node-count throughput ratios: a
+//!    real regression shows at every node count, while a scheduler hiccup
+//!    during one measurement pair only perturbs one ratio;
+//! 2. at every measured node count, the adaptive skewed run took strictly
+//!    fewer forward hops than the static skewed run;
+//! 3. at 4 nodes, the static run's forward hops + thread migrations are at
+//!    least 2x the adaptive run's.
+
+use amber_bench::throughput::{existing_runs, parse_points, ParsedPoint};
+
+fn die(msg: &str) -> ! {
+    eprintln!("throughput_check: FAIL: {msg}");
+    std::process::exit(1)
+}
+
+/// Median of the adaptive/baseline `local_invoke` throughput ratios, paired
+/// by node count. Returns `None` when no node count appears in both runs.
+fn local_invoke_ratio(adaptive: &[ParsedPoint], baseline: &[ParsedPoint]) -> Option<f64> {
+    let mut ratios: Vec<f64> = adaptive
+        .iter()
+        .filter(|a| a.scenario == "local_invoke" && a.ops_per_sec > 0.0)
+        .filter_map(|a| {
+            baseline
+                .iter()
+                .find(|b| b.scenario == "local_invoke" && b.nodes == a.nodes)
+                .filter(|b| b.ops_per_sec > 0.0)
+                .map(|b| a.ops_per_sec / b.ops_per_sec)
+        })
+        .collect();
+    if ratios.is_empty() {
+        return None;
+    }
+    ratios.sort_by(f64::total_cmp);
+    let mid = ratios.len() / 2;
+    Some(if ratios.len() % 2 == 1 {
+        ratios[mid]
+    } else {
+        (ratios[mid - 1] + ratios[mid]) / 2.0
+    })
+}
+
+fn main() {
+    let path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_throughput.json".into());
+    let body = match std::fs::read_to_string(&path) {
+        Ok(b) => b,
+        Err(e) => die(&format!("cannot read {path}: {e}")),
+    };
+    let runs = existing_runs(&body);
+    let points_of = |label: &str| {
+        runs.iter()
+            .find(|(l, _)| l == label)
+            .map(|(_, obj)| parse_points(obj))
+    };
+    let Some(adaptive) = points_of("adaptive-placement") else {
+        die(&format!("{path} has no adaptive-placement run"));
+    };
+
+    // Gate 1: advisor overhead on the pure-local workload.
+    match points_of("reliable-net") {
+        Some(baseline) => {
+            let Some(ratio) = local_invoke_ratio(&adaptive, &baseline) else {
+                die("no paired local_invoke points between adaptive-placement and reliable-net");
+            };
+            if ratio < 0.9 {
+                die(&format!(
+                    "adaptive-placement local_invoke regresses >10% vs reliable-net \
+                     (median throughput ratio {ratio:.3})"
+                ));
+            }
+            println!(
+                "throughput_check: local_invoke median throughput ratio {ratio:.3} vs \
+                 reliable-net (ok)"
+            );
+        }
+        None => println!("throughput_check: no reliable-net baseline; skipping overhead gate"),
+    }
+
+    // Gates 2 and 3: the skewed scenario must actually get cheaper.
+    let mut compared = 0;
+    for p in &adaptive {
+        if p.scenario != "skewed_invoke" {
+            continue;
+        }
+        let Some(a) = adaptive
+            .iter()
+            .find(|a| a.scenario == "skewed_invoke_adaptive" && a.nodes == p.nodes)
+        else {
+            die(&format!("no adaptive skewed run at {} nodes", p.nodes));
+        };
+        compared += 1;
+        if a.forward_hops >= p.forward_hops {
+            die(&format!(
+                "at {} nodes adaptive forward_hops {} not below static {}",
+                p.nodes, a.forward_hops, p.forward_hops
+            ));
+        }
+        let (stat, adap) = (
+            p.forward_hops + p.thread_migrations,
+            a.forward_hops + a.thread_migrations,
+        );
+        if p.nodes == 4 && stat < 2 * adap {
+            die(&format!(
+                "at 4 nodes static hops+migrations {stat} is under 2x adaptive {adap}"
+            ));
+        }
+        println!(
+            "throughput_check: skewed {} nodes: static hops+migrations {stat}, adaptive {adap} (ok)",
+            p.nodes
+        );
+    }
+    if compared == 0 {
+        die("adaptive-placement run has no skewed_invoke points");
+    }
+    println!("throughput_check: PASS");
+}

@@ -1,0 +1,330 @@
+//! Adaptive object placement: the mechanism half.
+//!
+//! Amber leaves placement program-controlled (paper, sections 3.3–3.4); the
+//! adaptive engine closes the loop the paper leaves open. The invoke path
+//! counts, per object, how many invocations started on each node (relaxed
+//! atomics in the registry entry the path already holds — see
+//! [`crate::kernel::ObjectEntry::calls`]). A placement daemon wakes on a
+//! periodic tick, drains those counters into [`PlacementSample`]s (folding
+//! attached children onto their group root, since groups move as one), asks
+//! the installed [`PlacementPolicy`] for decisions, and executes each as an
+//! *advisory* group move — declined on the spot, with an `AdvisorySkipped`
+//! event, if the object is pinned, mid-move, attached, immutable, destroyed,
+//! or already at the target.
+//!
+//! The split mirrors `amber-placement`'s creation-time placers: this module
+//! is pure mechanism; scoring (hysteresis, cooldown, rate limits) lives in
+//! the policy, whose stock implementation is `amber_placement::adaptive`.
+//!
+//! # Tick scheduling and quiescence
+//!
+//! Ticks ride [`amber_engine::Engine::after`]: a virtual-time timer under
+//! the simulator and the timing wheel under the real engine. A standing
+//! periodic timer would blind the simulator's deadlock detector (the event
+//! queue would never drain), so the timer is *activity-armed*: the first
+//! invocation after an idle period arms exactly one tick (CAS on `armed`);
+//! the daemon re-arms after a productive tick and disarms when a whole tick
+//! elapsed with no new invocations. An idle — or deadlocked — program
+//! therefore has no pending timer and deadlock detection keeps working; the
+//! daemon itself parks under the name `placement-tick`.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, OnceLock};
+
+use amber_engine::{must_current_thread, NodeId, ProtocolEvent, SimTime, ThreadId};
+use amber_vspace::VAddr;
+use parking_lot::Mutex;
+
+use crate::kernel::Kernel;
+use crate::stats::ProtocolStats;
+
+/// One object's (or attachment group's) traffic over the last placement
+/// tick, as handed to the policy.
+#[derive(Clone, Debug)]
+pub struct PlacementSample {
+    /// Raw address of the object (the group root, for attachment groups).
+    pub obj: u64,
+    /// Where the object currently resides.
+    pub location: NodeId,
+    /// Invocations started on each node since the previous tick, summed
+    /// over the whole attachment group; indexed by node.
+    pub calls_by_node: Vec<u64>,
+}
+
+/// A policy's proposal: move `obj`'s group to `to`.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct PlacementDecision {
+    /// Raw address of the object to move (a group root).
+    pub obj: u64,
+    /// Proposed destination node.
+    pub to: NodeId,
+}
+
+/// The decision half of adaptive placement.
+///
+/// Implementations see only traffic; safety (pins, in-flight moves,
+/// attachment, immutability) is enforced by the kernel when it executes the
+/// decisions, so a policy proposing an unsafe move costs one skip event,
+/// not correctness. `decide` runs on the placement daemon with no kernel
+/// locks held.
+pub trait PlacementPolicy: Send {
+    /// Cadence of placement ticks: virtual time under the simulator, wall
+    /// clock under the real engine.
+    fn tick_interval(&self) -> SimTime;
+
+    /// One decision round. `nodes` is the cluster size; `samples` holds
+    /// every object that saw traffic since the last round, in ascending
+    /// address order (deterministic input for deterministic policies).
+    fn decide(&mut self, nodes: usize, samples: &[PlacementSample]) -> Vec<PlacementDecision>;
+}
+
+/// One per-node activity counter on its own cache line, so concurrent
+/// invokers on different nodes never contend on the hot-path bump.
+#[repr(align(128))]
+pub(crate) struct PaddedCounter(AtomicU64);
+
+/// Kernel-side adaptive placement state.
+pub(crate) struct PlacementRuntime {
+    pub(crate) policy: Mutex<Box<dyn PlacementPolicy>>,
+    /// Tick cadence, captured from the policy at construction.
+    pub(crate) tick: SimTime,
+    /// A tick timer is currently pending (see module docs on quiescence).
+    pub(crate) armed: AtomicBool,
+    /// Set at the end of `Cluster::run`; the daemon exits at the next wake.
+    pub(crate) stop: AtomicBool,
+    /// Invocations started, ever, counted per starting node; the daemon
+    /// sums successive readings to detect quiescent ticks.
+    pub(crate) activity: Box<[PaddedCounter]>,
+    /// The daemon thread, once spawned.
+    pub(crate) daemon: OnceLock<ThreadId>,
+}
+
+impl PlacementRuntime {
+    pub(crate) fn new(policy: Box<dyn PlacementPolicy>, nodes: usize) -> PlacementRuntime {
+        let tick = policy.tick_interval();
+        PlacementRuntime {
+            policy: Mutex::new(policy),
+            tick,
+            armed: AtomicBool::new(false),
+            stop: AtomicBool::new(false),
+            activity: (0..nodes.max(1))
+                .map(|_| PaddedCounter(AtomicU64::new(0)))
+                .collect(),
+            daemon: OnceLock::new(),
+        }
+    }
+
+    /// Sum of all per-node activity counters (the daemon's quiescence read;
+    /// monotone, so comparing successive sums is race-free enough).
+    fn total_activity(&self) -> u64 {
+        self.activity
+            .iter()
+            .map(|c| c.0.load(Ordering::Relaxed))
+            .sum()
+    }
+}
+
+/// Traffic observed for one object during a tick's drain, before group
+/// folding.
+struct Observation {
+    location: NodeId,
+    attached_to: Option<VAddr>,
+    calls: Vec<u64>,
+}
+
+impl Kernel {
+    /// Hot-path hook, called once per invocation start: records activity
+    /// (on `node`'s own cache line) and arms a placement tick if none is
+    /// pending. With placement off this is one branch on an `Option`.
+    pub(crate) fn note_invocation_activity(&self, node: NodeId) {
+        let Some(p) = &self.placement else { return };
+        if let Some(c) = p.activity.get(node.index()) {
+            c.0.fetch_add(1, Ordering::Relaxed);
+        }
+        if !p.armed.load(Ordering::Relaxed)
+            && !p.stop.load(Ordering::Relaxed)
+            && p.armed
+                .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+        {
+            self.schedule_placement_tick();
+        }
+    }
+
+    /// Arms one tick timer that wakes the daemon after the tick interval.
+    /// Caller owns the `armed` flag. Never called under a kernel lock: the
+    /// simulator's `after` takes the engine state mutex.
+    fn schedule_placement_tick(&self) {
+        let Some(p) = &self.placement else { return };
+        let Some(&daemon) = p.daemon.get() else {
+            // Cluster not running yet (creation from host code before
+            // `run`): disarm so the run's first invocation re-arms.
+            p.armed.store(false, Ordering::Release);
+            return;
+        };
+        let engine = Arc::clone(&self.engine);
+        self.engine
+            .after(p.tick, Box::new(move || engine.unblock_kernel(daemon)));
+    }
+
+    /// Spawns the placement daemon (an ordinary Amber kernel-class thread
+    /// on the boot node). Called by `Cluster::run` before the engine
+    /// starts; a no-op without a policy.
+    pub(crate) fn spawn_placement_daemon(self: &Arc<Kernel>) {
+        let Some(p) = &self.placement else { return };
+        let kernel = Arc::clone(self);
+        let tid = self.engine.spawn(
+            NodeId::BOOT,
+            "amber-placement".into(),
+            Box::new(move || kernel.placement_daemon_loop()),
+        );
+        let _ = p.daemon.set(tid);
+    }
+
+    /// Signals the daemon to exit and wakes it. Called when the cluster's
+    /// main thread returns.
+    pub(crate) fn stop_placement_daemon(&self) {
+        let Some(p) = &self.placement else { return };
+        p.stop.store(true, Ordering::Release);
+        if let Some(&tid) = p.daemon.get() {
+            self.engine.unblock_kernel(tid);
+        }
+    }
+
+    fn placement_daemon_loop(&self) {
+        let me = must_current_thread();
+        self.register_thread(me);
+        let p = self
+            .placement
+            .as_ref()
+            .expect("placement daemon without placement state");
+        let mut last_seen = 0u64;
+        loop {
+            if p.stop.load(Ordering::Acquire) {
+                break;
+            }
+            self.engine.block_kernel("placement-tick");
+            if p.stop.load(Ordering::Acquire) {
+                break;
+            }
+            let seen = p.total_activity();
+            if seen == last_seen {
+                // A whole tick with no invocations: disarm instead of
+                // rescheduling (quiescence — see module docs). An arrival
+                // racing the disarm is caught by the re-check: we re-claim
+                // the flag ourselves if activity moved meanwhile.
+                p.armed.store(false, Ordering::Release);
+                if p.total_activity() != seen
+                    && p.armed
+                        .compare_exchange(false, true, Ordering::AcqRel, Ordering::Relaxed)
+                        .is_ok()
+                {
+                    self.schedule_placement_tick();
+                }
+                continue;
+            }
+            last_seen = seen;
+            self.placement_tick();
+            if p.stop.load(Ordering::Acquire) {
+                break;
+            }
+            self.schedule_placement_tick();
+        }
+        self.unregister_thread(me);
+    }
+
+    /// One placement round: drain counters, fold groups, consult the
+    /// policy, execute its decisions as advisory moves.
+    fn placement_tick(&self) {
+        let p = self
+            .placement
+            .as_ref()
+            .expect("placement tick without placement state");
+        let n = self.nodes.len();
+
+        // Drain this tick's per-object counters shard by shard (relaxed
+        // swaps; an invocation racing the drain lands in the next tick) and
+        // copy the attachment shape needed to fold groups onto their roots.
+        let mut observed: HashMap<VAddr, Observation> = HashMap::new();
+        self.objects.for_each(|addr, e| {
+            let mut calls = vec![0u64; n];
+            for (slot, c) in e.calls.iter().enumerate() {
+                calls[slot] = c.swap(0, Ordering::Relaxed);
+            }
+            observed.insert(
+                addr,
+                Observation {
+                    location: e.location,
+                    attached_to: e.attached_to,
+                    calls,
+                },
+            );
+        });
+
+        // Groups move as one, so score whole groups: each object's traffic
+        // is credited to its attachment root. The snapshot was taken one
+        // shard at a time, so a chain mutated mid-drain can look torn;
+        // walking is bounded and a dangling parent just drops that object's
+        // contribution for one tick.
+        let mut tally: HashMap<VAddr, (NodeId, Vec<u64>)> = HashMap::new();
+        for (addr, obs) in &observed {
+            if obs.calls.iter().all(|&v| v == 0) {
+                continue;
+            }
+            let mut root = *addr;
+            let mut steps = 0usize;
+            while let Some(parent) = observed.get(&root).and_then(|o| o.attached_to) {
+                root = parent;
+                steps += 1;
+                if steps > observed.len() {
+                    break;
+                }
+            }
+            let Some(root_obs) = observed.get(&root) else {
+                continue;
+            };
+            let entry = tally
+                .entry(root)
+                .or_insert_with(|| (root_obs.location, vec![0u64; n]));
+            for (slot, v) in obs.calls.iter().enumerate() {
+                entry.1[slot] += v;
+            }
+        }
+
+        let mut samples: Vec<PlacementSample> = tally
+            .into_iter()
+            .map(|(addr, (location, calls_by_node))| PlacementSample {
+                obj: addr.raw(),
+                location,
+                calls_by_node,
+            })
+            .collect();
+        samples.sort_by_key(|s| s.obj);
+        if samples.is_empty() {
+            return;
+        }
+
+        let decisions = p.policy.lock().decide(n, &samples);
+        for d in decisions {
+            match self.advisory_move(VAddr(d.obj), d.to) {
+                Ok(from) => {
+                    ProtocolStats::bump(&self.pstats.advisory_moves);
+                    self.trace(|| ProtocolEvent::AdvisoryMove {
+                        obj: d.obj,
+                        from,
+                        to: d.to,
+                    });
+                }
+                Err(reason) => {
+                    ProtocolStats::bump(&self.pstats.advisory_skips);
+                    self.trace(|| ProtocolEvent::AdvisorySkipped {
+                        obj: d.obj,
+                        at: d.to,
+                        reason,
+                    });
+                }
+            }
+        }
+    }
+}

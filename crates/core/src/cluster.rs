@@ -16,10 +16,16 @@ use amber_engine::{
 };
 use amber_vspace::VAddr;
 
+use crate::adaptive::PlacementPolicy;
+use crate::errors::ProtocolError;
 use crate::kernel::Kernel;
 use crate::objref::{AmberObject, ObjRef};
 use crate::stats::ProtocolSnapshot;
 use crate::thread::JoinHandle;
+
+/// Clonable factory for the cluster's placement policy (the builder is
+/// `Clone`, so it stores a constructor rather than the policy itself).
+type PolicyFactory = Arc<dyn Fn() -> Box<dyn PlacementPolicy> + Send + Sync>;
 
 /// Which engine a [`Cluster`] runs on.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -49,7 +55,7 @@ pub enum EngineChoice {
 ///     .unwrap();
 /// assert_eq!(sum, 42);
 /// ```
-#[derive(Clone, Debug)]
+#[derive(Clone)]
 pub struct ClusterBuilder {
     nodes: usize,
     processors: usize,
@@ -59,6 +65,23 @@ pub struct ClusterBuilder {
     engine: EngineChoice,
     deadline: Option<Duration>,
     faults: Option<amber_engine::FaultPlan>,
+    adaptive: Option<PolicyFactory>,
+}
+
+impl std::fmt::Debug for ClusterBuilder {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ClusterBuilder")
+            .field("nodes", &self.nodes)
+            .field("processors", &self.processors)
+            .field("latency", &self.latency)
+            .field("cost", &self.cost)
+            .field("policy", &self.policy)
+            .field("engine", &self.engine)
+            .field("deadline", &self.deadline)
+            .field("faults", &self.faults)
+            .field("adaptive", &self.adaptive.is_some())
+            .finish()
+    }
 }
 
 impl Default for ClusterBuilder {
@@ -72,6 +95,7 @@ impl Default for ClusterBuilder {
             engine: EngineChoice::Sim,
             deadline: None,
             faults: None,
+            adaptive: None,
         }
     }
 }
@@ -129,6 +153,22 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enables the adaptive placement engine: per-object, per-caller-node
+    /// invocation counters feed a periodic advisor tick that issues
+    /// rate-limited advisory group moves toward each object's dominant
+    /// caller node — never mid-move, never against a pin (see
+    /// [`Ctx::pin`]). `make` constructs the decision policy; the stock
+    /// credit-scored policy with hysteresis and cooldown knobs is
+    /// `amber_placement::adaptive::TrafficAdvisor`.
+    pub fn adaptive_placement<P, F>(mut self, make: F) -> Self
+    where
+        P: PlacementPolicy + 'static,
+        F: Fn() -> P + Send + Sync + 'static,
+    {
+        self.adaptive = Some(Arc::new(move || Box::new(make())));
+        self
+    }
+
     /// Builds the cluster.
     pub fn build(self) -> Cluster {
         let mut spec = amber_engine::ClusterSpec::uniform(self.nodes, self.processors)
@@ -147,7 +187,8 @@ impl ClusterBuilder {
                 Arc::new(e)
             }
         };
-        let kernel = Kernel::new(Arc::clone(&engine), self.cost);
+        let policy = self.adaptive.map(|make| make());
+        let kernel = Kernel::new(Arc::clone(&engine), self.cost, policy);
         Cluster { kernel }
     }
 }
@@ -180,11 +221,15 @@ impl Cluster {
         F: FnOnce(&Ctx) -> R + Send + 'static,
     {
         let kernel = Arc::clone(&self.kernel);
+        // The placement daemon (if a policy is installed) must exist before
+        // the program runs so the first invocation can arm its tick timer.
+        self.kernel.spawn_placement_daemon();
         self.kernel.engine.run(NodeId::BOOT, move || {
             let tid = must_current_thread();
             kernel.register_thread(tid);
             let ctx = Ctx::new(Arc::clone(&kernel));
             let r = main(&ctx);
+            kernel.stop_placement_daemon();
             kernel.unregister_thread(tid);
             r
         })
@@ -407,8 +452,35 @@ impl Ctx {
 
     /// Finds the node where the object currently resides. The Locate
     /// primitive: follows the forwarding chain with control probes.
+    ///
+    /// On a protocol error (destroyed object, diverged chase) the calling
+    /// thread halts under the error's name; use
+    /// [`try_locate`](Ctx::try_locate) to observe the error instead.
     pub fn locate<T: AmberObject>(&self, obj: &ObjRef<T>) -> NodeId {
+        self.kernel
+            .locate(obj.addr())
+            .unwrap_or_else(|e| self.kernel.halt(e))
+    }
+
+    /// Fallible [`locate`](Ctx::locate): returns
+    /// [`ProtocolError::ObjectDestroyed`] for a destroyed or unknown
+    /// address and [`ProtocolError::ChaseDiverged`] when the forwarding
+    /// chase exceeds its hop bound, instead of halting the thread.
+    pub fn try_locate<T: AmberObject>(&self, obj: &ObjRef<T>) -> Result<NodeId, ProtocolError> {
         self.kernel.locate(obj.addr())
+    }
+
+    /// Pins the object against the adaptive placement advisor: advisories
+    /// targeting it (or any group containing it) are skipped until
+    /// [`unpin`](Ctx::unpin). Explicit [`move_to`](Ctx::move_to) ignores
+    /// pins. A no-op marker when adaptive placement is not enabled.
+    pub fn pin<T: AmberObject>(&self, obj: &ObjRef<T>) {
+        self.kernel.pin(obj.addr());
+    }
+
+    /// Clears a [`pin`](Ctx::pin).
+    pub fn unpin<T: AmberObject>(&self, obj: &ObjRef<T>) {
+        self.kernel.unpin(obj.addr());
     }
 
     /// Attaches `child` to `parent`: co-located now and moved together from

@@ -1,0 +1,53 @@
+//! Typed protocol errors.
+//!
+//! The residency protocol used to `panic!` on two edges a correct program
+//! can still reach through stale references or pathological descriptor
+//! state: touching a destroyed object, and a forwarding chase that never
+//! converges. Both now surface as [`ProtocolError`]. Fallible entry points
+//! (`Ctx::try_locate`) return it; infallible ones route through
+//! `Kernel::halt`, which parks the thread forever under the error's
+//! [`reason`](ProtocolError::reason) so a simulated run reports a deadlock
+//! naming the condition instead of aborting the whole process.
+
+use amber_vspace::VAddr;
+
+/// A protocol-level failure the runtime surfaces instead of panicking.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum ProtocolError {
+    /// The referenced object has been destroyed (or never existed).
+    ObjectDestroyed(VAddr),
+    /// A forwarding chase exceeded the hop bound without converging.
+    ChaseDiverged {
+        /// The address being chased.
+        addr: VAddr,
+        /// Hops followed before giving up.
+        hops: u32,
+    },
+}
+
+impl ProtocolError {
+    /// Short stable name for the failure, used as the blocked-thread reason
+    /// when an infallible path halts on this error — deadlock reports then
+    /// name the condition, like the other named protocol waits.
+    pub fn reason(&self) -> &'static str {
+        match self {
+            ProtocolError::ObjectDestroyed(_) => "protocol-error: object-destroyed",
+            ProtocolError::ChaseDiverged { .. } => "protocol-error: chase-diverged",
+        }
+    }
+}
+
+impl std::fmt::Display for ProtocolError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ProtocolError::ObjectDestroyed(addr) => {
+                write!(f, "reference to destroyed or unknown object {addr:?}")
+            }
+            ProtocolError::ChaseDiverged { addr, hops } => {
+                write!(f, "forwarding chase for {addr:?} gave up after {hops} hops")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ProtocolError {}

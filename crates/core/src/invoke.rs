@@ -29,9 +29,17 @@ use std::sync::Arc;
 use amber_engine::{must_current_thread, NodeId, ThreadId};
 use amber_vspace::{Residency, VAddr};
 
+use crate::errors::ProtocolError;
 use crate::kernel::{Access, Kernel, ObjectCell, OpWaiter};
 use crate::objref::ObjRef;
 use crate::stats::ProtocolStats;
+
+/// Bound on forwarding-chase hops before the chase gives up with
+/// [`ProtocolError::ChaseDiverged`]. Chains are at most `moves + 1` links
+/// long in practice, so this is pure corruption insurance — but a corrupted
+/// descriptor graph now yields a typed error and a `ChaseDiverged` trace
+/// event instead of aborting the process.
+pub(crate) const MAX_CHASE_HOPS: u32 = 10_000;
 
 impl Kernel {
     /// Registers a new thread record. Engines own scheduling state; this is
@@ -45,26 +53,45 @@ impl Kernel {
         self.threads.unregister(tid);
     }
 
+    /// Parks the current thread forever on `err`'s name. This is how
+    /// infallible protocol paths surface a [`ProtocolError`]: like the other
+    /// named waits, a simulated run then reports a deadlock naming the
+    /// condition (e.g. `protocol-error: object-destroyed`) instead of the
+    /// process aborting. Under the real engine the thread simply never
+    /// completes and the run's deadline fires.
+    pub(crate) fn halt(&self, err: ProtocolError) -> ! {
+        let reason = err.reason();
+        loop {
+            self.engine.block_kernel(reason);
+        }
+    }
+
     /// Pushes the invocation frame and binds the thread to the object —
     /// the section-3.5 "frame first" step — in one registry-shard visit.
     /// Returns the object's immutability flag so callers need no second
-    /// visit to read it.
+    /// visit to read it, or [`ProtocolError::ObjectDestroyed`] (with the
+    /// frame unwound) for references to destroyed objects.
     ///
-    /// # Panics
-    ///
-    /// Panics on references to destroyed objects.
-    fn bind_frame(&self, tid: ThreadId, addr: VAddr) -> bool {
+    /// `from` is the node the invocation started on; with adaptive
+    /// placement enabled it lands in the object's per-caller-node counter —
+    /// a relaxed bump under the shard lock this path already holds.
+    fn bind_frame(&self, tid: ThreadId, addr: VAddr, from: NodeId) -> Result<bool, ProtocolError> {
         let rec = self
             .threads
             .rec(tid)
             .expect("frame push on unregistered thread");
         rec.state.lock().frames.push(addr);
         let mut shard = self.objects.lock(addr);
-        let e = shard
-            .get_mut(&addr)
-            .unwrap_or_else(|| panic!("reference to destroyed or unknown object {addr}"));
+        let Some(e) = shard.get_mut(&addr) else {
+            drop(shard);
+            rec.state.lock().frames.pop();
+            return Err(ProtocolError::ObjectDestroyed(addr));
+        };
         *e.bound.entry(tid).or_insert(0) += 1;
-        e.immutable
+        if let Some(c) = e.calls.get(from.index()) {
+            c.fetch_add(1, std::sync::atomic::Ordering::Relaxed);
+        }
+        Ok(e.immutable)
     }
 
     /// Sets the by-value argument bytes the next outbound migration carries.
@@ -126,12 +153,14 @@ impl Kernel {
 
     /// Runs the residency protocol until the object at `addr` is local to
     /// the current thread (resident, or replicated when `allow_replica`).
-    /// Returns the node the thread ends up on.
-    ///
-    /// # Panics
-    ///
-    /// Panics on references to destroyed objects.
-    pub(crate) fn ensure_at_object(&self, addr: VAddr, allow_replica: bool) -> NodeId {
+    /// Returns the node the thread ends up on, or a typed error for
+    /// references to destroyed objects and chases that exceed the hop
+    /// bound.
+    pub(crate) fn ensure_at_object(
+        &self,
+        addr: VAddr,
+        allow_replica: bool,
+    ) -> Result<NodeId, ProtocolError> {
         let me = must_current_thread();
         let mut hops: u32 = 0;
         let mut visited: Vec<NodeId> = Vec::new();
@@ -149,7 +178,7 @@ impl Kernel {
                         continue;
                     }
                     Some(_) => {}
-                    None => panic!("reference to destroyed or unknown object {addr}"),
+                    None => return Err(ProtocolError::ObjectDestroyed(addr)),
                 }
             }
             let desc = self.nodes[here.index()].descriptors.read().lookup(addr);
@@ -171,9 +200,9 @@ impl Kernel {
                             .write()
                             .cache_hint(addr, here);
                     }
-                    return here;
+                    return Ok(here);
                 }
-                Some(Residency::Replica) if allow_replica => return here,
+                Some(Residency::Replica) if allow_replica => return Ok(here),
                 Some(Residency::Replica) => {
                     // A replica exists but exclusive access was requested;
                     // immutable objects cannot be mutated.
@@ -205,12 +234,9 @@ impl Kernel {
                 // A stale self-hint; consult ground truth to break the tie
                 // (the descriptor write that makes it fresh is in flight),
                 // then repair in a single write-lock visit.
-                let loc = self
-                    .objects
-                    .lock(addr)
-                    .get(&addr)
-                    .map(|e| e.location)
-                    .expect("object vanished mid-chase");
+                let Some(loc) = self.objects.lock(addr).get(&addr).map(|e| e.location) else {
+                    return Err(ProtocolError::ObjectDestroyed(addr));
+                };
                 let mut d = self.nodes[here.index()].descriptors.write();
                 if loc == here {
                     // Truly here but the descriptor lagged; repair it.
@@ -221,10 +247,18 @@ impl Kernel {
                 continue;
             }
             hops += 1;
-            assert!(
-                hops < 10_000,
-                "forwarding chase for {addr} did not converge"
-            );
+            if hops >= MAX_CHASE_HOPS {
+                // Bounded give-up, mirroring the transport's max_attempts
+                // retransmit give-up: record it and surface an error
+                // instead of aborting the process.
+                ProtocolStats::bump(&self.pstats.chase_divergences);
+                self.trace(|| amber_engine::ProtocolEvent::ChaseDiverged {
+                    obj: addr.0,
+                    at: here,
+                    hops,
+                });
+                return Err(ProtocolError::ChaseDiverged { addr, hops });
+            }
             visited.push(here);
             self.migrate_current(here, next);
         }
@@ -243,7 +277,9 @@ impl Kernel {
         let here = self.engine.node_of(me);
         let local = self.nodes[here.index()].descriptors.read().is_local(addr);
         if !local {
-            self.ensure_at_object(addr, true);
+            if let Err(e) = self.ensure_at_object(addr, true) {
+                self.halt(e);
+            }
         }
     }
 
@@ -380,15 +416,20 @@ impl Kernel {
         let addr = obj.addr();
         let start_node = self.engine.node_of(me);
         // Frame first, then the residency check (section 3.5 ordering).
-        let immutable = self.bind_frame(me, addr);
+        let immutable = self
+            .bind_frame(me, addr, start_node)
+            .unwrap_or_else(|e| self.halt(e));
         assert!(
             !immutable,
             "exclusive invocation of immutable object {addr}"
         );
+        self.note_invocation_activity(start_node);
         if carry > 0 {
             self.set_carry(me, carry);
         }
-        let at = self.ensure_at_object(addr, false);
+        let at = self
+            .ensure_at_object(addr, false)
+            .unwrap_or_else(|e| self.halt(e));
         if carry > 0 {
             self.set_carry(me, 0);
         }
@@ -446,7 +487,10 @@ impl Kernel {
         let addr = obj.addr();
         let start_node = self.engine.node_of(me);
         // Frame push and the immutability read share one shard visit.
-        let immutable = self.bind_frame(me, addr);
+        let immutable = self
+            .bind_frame(me, addr, start_node)
+            .unwrap_or_else(|e| self.halt(e));
+        self.note_invocation_activity(start_node);
         if carry > 0 {
             self.set_carry(me, carry);
         }
@@ -457,6 +501,7 @@ impl Kernel {
             start_node
         } else {
             self.ensure_at_object(addr, true)
+                .unwrap_or_else(|e| self.halt(e))
         };
         if carry > 0 {
             self.set_carry(me, 0);
@@ -501,7 +546,9 @@ impl Kernel {
                 .read()
                 .is_local(enclosing);
             if !local {
-                self.ensure_at_object(enclosing, true);
+                if let Err(e) = self.ensure_at_object(enclosing, true) {
+                    self.halt(e);
+                }
             }
         }
     }

@@ -26,12 +26,14 @@
 
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
+use std::sync::atomic::AtomicU64;
 use std::sync::Arc;
 
 use amber_engine::{must_current_thread, CostModel, Engine, NodeId, SimTime, ThreadId};
 use amber_vspace::{AddressSpaceServer, DescriptorTable, HeapError, NodeHeap, RegionMap, VAddr};
 use parking_lot::{Mutex, RwLock};
 
+use crate::adaptive::{PlacementPolicy, PlacementRuntime};
 use crate::objref::{AmberObject, ObjRef};
 use crate::registry::{ObjectRegistry, ThreadRegistry};
 use crate::stats::ProtocolStats;
@@ -89,11 +91,21 @@ pub(crate) struct ObjectEntry {
     pub(crate) moving: bool,
     /// Threads parked waiting for the in-flight move to complete.
     pub(crate) move_waiters: Vec<ThreadId>,
+    /// Per-caller-node invocation counters for the adaptive placement
+    /// engine: slot `n` counts invocations started on node `n` since the
+    /// last placement tick drained them. Relaxed atomics bumped under the
+    /// shard lock the invoke path already holds, so the fast path takes no
+    /// extra lock; empty when adaptive placement is disabled.
+    pub(crate) calls: Box<[AtomicU64]>,
+    /// Pinned by the user: the placement advisor never moves this object
+    /// (explicit `MoveTo` still does).
+    pub(crate) pinned: bool,
 }
 
 impl ObjectEntry {
-    /// A fresh entry for an object just created on `node`.
-    fn new<T: AmberObject>(value: T, node: NodeId, size: usize) -> ObjectEntry {
+    /// A fresh entry for an object just created on `node`. `call_slots` is
+    /// the cluster's node count when adaptive placement is on, else 0.
+    fn new<T: AmberObject>(value: T, node: NodeId, size: usize, call_slots: usize) -> ObjectEntry {
         ObjectEntry {
             cell: Arc::new(ObjectCell {
                 data: RwLock::new(Box::new(value)),
@@ -114,6 +126,8 @@ impl ObjectEntry {
             op_waiters: VecDeque::new(),
             moving: false,
             move_waiters: Vec::new(),
+            calls: (0..call_slots).map(|_| AtomicU64::new(0)).collect(),
+            pinned: false,
         }
     }
 }
@@ -147,12 +161,19 @@ pub struct Kernel {
     /// a registry shard.
     pub(crate) topology: Mutex<()>,
     pub(crate) pstats: ProtocolStats,
+    /// Adaptive placement state (policy, tick arming, daemon handle); `None`
+    /// when the cluster was built without a placement policy.
+    pub(crate) placement: Option<PlacementRuntime>,
 }
 
 impl Kernel {
     /// Builds kernel state over `engine`, assigning each node its startup
     /// region (paper, section 3.1).
-    pub(crate) fn new(engine: Arc<dyn Engine>, cost: CostModel) -> Arc<Kernel> {
+    pub(crate) fn new(
+        engine: Arc<dyn Engine>,
+        cost: CostModel,
+        policy: Option<Box<dyn PlacementPolicy>>,
+    ) -> Arc<Kernel> {
         let n = engine.nodes();
         let mut server = AddressSpaceServer::new();
         let nodes: Vec<NodeKernel> = (0..n)
@@ -180,7 +201,18 @@ impl Kernel {
             threads: ThreadRegistry::new(),
             topology: Mutex::new(()),
             pstats: ProtocolStats::default(),
+            placement: policy.map(|p| PlacementRuntime::new(p, n)),
         })
+    }
+
+    /// Number of per-caller-node counter slots new objects get: the node
+    /// count when adaptive placement is enabled, else 0 (no counting).
+    pub(crate) fn call_slots(&self) -> usize {
+        if self.placement.is_some() {
+            self.nodes.len()
+        } else {
+            0
+        }
     }
 
     /// The node the current thread is executing on.
@@ -290,7 +322,7 @@ impl Kernel {
         self.engine.work(self.cost.object_create);
         let size = value.transfer_size();
         let addr = self.heap_alloc(node, size.max(1));
-        let entry = ObjectEntry::new(value, node, size);
+        let entry = ObjectEntry::new(value, node, size, self.call_slots());
         self.nodes[node.index()]
             .descriptors
             .write()
@@ -318,7 +350,7 @@ impl Kernel {
         // We are logically at the target node's kernel now: allocate there.
         self.engine.work(self.cost.object_create);
         let addr = self.heap_alloc(node, size.max(1));
-        let entry = ObjectEntry::new(value, node, size);
+        let entry = ObjectEntry::new(value, node, size, self.call_slots());
         self.nodes[node.index()]
             .descriptors
             .write()

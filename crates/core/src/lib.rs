@@ -44,7 +44,9 @@
 
 #![warn(missing_docs)]
 
+mod adaptive;
 mod cluster;
+mod errors;
 mod invoke;
 mod kernel;
 mod mobility;
@@ -53,7 +55,9 @@ mod registry;
 mod stats;
 mod thread;
 
+pub use adaptive::{PlacementDecision, PlacementPolicy, PlacementSample};
 pub use cluster::{Cluster, ClusterBuilder, Ctx, EngineChoice};
+pub use errors::ProtocolError;
 pub use kernel::Kernel;
 pub use objref::{AmberObject, ObjRef};
 pub use stats::{ProtocolSnapshot, ProtocolStats, TraceSummary};

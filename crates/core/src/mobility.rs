@@ -24,28 +24,36 @@
 //! [`ObjectRegistry::lock_group`](crate::registry::ObjectRegistry::lock_group),
 //! and descriptor writes are batched into one write-lock visit per node.
 
+use std::collections::HashSet;
+
 use amber_engine::{must_current_thread, NodeId};
 use amber_vspace::{Residency, VAddr};
 
+use crate::errors::ProtocolError;
+use crate::invoke::MAX_CHASE_HOPS;
 use crate::kernel::Kernel;
 use crate::stats::ProtocolStats;
 
 impl Kernel {
     /// The attachment closure rooted at `addr`: the object plus everything
-    /// transitively attached to it.
+    /// transitively attached to it, in deterministic BFS order (the order
+    /// members were pushed).
     ///
     /// Callers must hold the `topology` lock so membership cannot change
     /// mid-walk. Shards are visited one at a time and never nested, so the
-    /// walk imposes no shard-order constraint.
+    /// walk imposes no shard-order constraint. Membership is tracked in a
+    /// `HashSet` so large groups stay O(n), not O(n²).
     fn group_of(&self, addr: VAddr) -> Vec<VAddr> {
         let mut group = vec![addr];
+        let mut seen: HashSet<VAddr> = HashSet::with_capacity(16);
+        seen.insert(addr);
         let mut i = 0;
         while i < group.len() {
             let a = group[i];
             let children = self.objects.lock(a).get(&a).map(|e| e.attached.clone());
             if let Some(children) = children {
                 for child in children {
-                    if !group.contains(&child) {
+                    if seen.insert(child) {
                         group.push(child);
                     }
                 }
@@ -145,6 +153,74 @@ impl Kernel {
             self.replicate_at(addr, dest);
             return;
         }
+        let _ = my_node;
+        self.transfer_group(addr, source, dest, &group);
+    }
+
+    /// Executes a placement advisory: a one-shot, never-parking group move
+    /// of `addr` to `dest`. Returns the source node on success, or the
+    /// reason the kernel declined — the advisor's proposals are best-effort
+    /// and simply skipped when the object is pinned, mid-move, attached (a
+    /// non-root), immutable, destroyed, or already at `dest`.
+    ///
+    /// Unlike [`move_object`](Kernel::move_object), a busy group is a skip,
+    /// not a wait: the placement daemon must never park on user-driven
+    /// moves, and a mid-move object will be re-scored on a later tick.
+    pub(crate) fn advisory_move(&self, addr: VAddr, dest: NodeId) -> Result<NodeId, &'static str> {
+        if dest.index() >= self.nodes.len() {
+            return Err("no-such-node");
+        }
+        let (source, group) = {
+            let topo = self.topology.lock();
+            let root = {
+                let shard = self.objects.lock(addr);
+                let Some(e) = shard.get(&addr) else {
+                    return Err("destroyed");
+                };
+                if e.moving {
+                    return Err("mid-move");
+                }
+                if e.pinned {
+                    return Err("pinned");
+                }
+                if e.attached_to.is_some() {
+                    return Err("attached");
+                }
+                if e.immutable {
+                    return Err("immutable");
+                }
+                e.location
+            };
+            if root == dest {
+                return Err("already-there");
+            }
+            let group = self.group_of(addr);
+            let mut shards = self.objects.lock_group(&group);
+            if group
+                .iter()
+                .any(|a| shards.get(*a).is_none_or(|e| e.moving || e.pinned))
+            {
+                return Err("group-busy");
+            }
+            for a in &group {
+                shards.get_mut(*a).expect("checked above").moving = true;
+            }
+            drop(shards);
+            drop(topo);
+            (root, group)
+        };
+        self.transfer_group(addr, source, dest, &group);
+        Ok(source)
+    }
+
+    /// The transfer half of a move: descriptors flip to forwarding before
+    /// the bytes travel, the group transfers in one bulk message, installs
+    /// at `dest`, acknowledges, and every thread parked on a member's
+    /// `moving` flag wakes. Callers own the claim — every member's `moving`
+    /// flag must already be set (or the group must be otherwise private).
+    fn transfer_group(&self, addr: VAddr, source: NodeId, dest: NodeId, group: &[VAddr]) {
+        let me = must_current_thread();
+        let my_node = self.engine.node_of(me);
 
         ProtocolStats::bump(&self.pstats.object_moves);
         self.engine.work(self.cost.move_initiate);
@@ -168,8 +244,8 @@ impl Kernel {
             // node, not one per member.
             let mut per_node: Vec<Vec<VAddr>> = vec![Vec::new(); self.nodes.len()];
             {
-                let shards = self.objects.lock_group(&group);
-                for a in &group {
+                let shards = self.objects.lock_group(group);
+                for a in group {
                     let e = shards.get(*a).expect("attached object vanished");
                     bytes += e.size;
                     per_node[e.location.index()].push(*a);
@@ -207,8 +283,8 @@ impl Kernel {
         // batch is invisible to them.
         self.engine.work(self.cost.move_install);
         {
-            let mut shards = self.objects.lock_group(&group);
-            for a in &group {
+            let mut shards = self.objects.lock_group(group);
+            for a in group {
                 shards
                     .get_mut(*a)
                     .expect("attached object vanished")
@@ -216,7 +292,7 @@ impl Kernel {
             }
             drop(shards);
             let mut d = self.nodes[dest.index()].descriptors.write();
-            for a in &group {
+            for a in group {
                 d.set_resident(*a);
             }
         }
@@ -225,9 +301,9 @@ impl Kernel {
         // Clear the moving flag on every group member and release anyone
         // who parked on any of them.
         let waiters = {
-            let mut shards = self.objects.lock_group(&group);
+            let mut shards = self.objects.lock_group(group);
             let mut ws = Vec::new();
-            for a in &group {
+            for a in group {
                 let e = shards.get_mut(*a).expect("moved object vanished");
                 e.moving = false;
                 ws.append(&mut e.move_waiters);
@@ -460,14 +536,45 @@ impl Kernel {
             .retain(|a| *a != child);
     }
 
+    /// Pins the object: the adaptive placement advisor will never move it
+    /// (an explicit `MoveTo` still will). Pinning is advisory-only state; a
+    /// pinned object behaves identically in every other respect.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is unknown or destroyed.
+    pub fn pin(&self, addr: VAddr) {
+        self.set_pinned(addr, true);
+    }
+
+    /// Clears a [`pin`](Kernel::pin): the placement advisor may move the
+    /// object again.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the object is unknown or destroyed.
+    pub fn unpin(&self, addr: VAddr) {
+        self.set_pinned(addr, false);
+    }
+
+    fn set_pinned(&self, addr: VAddr, pinned: bool) {
+        let mut shard = self.objects.lock(addr);
+        let e = shard
+            .get_mut(&addr)
+            .unwrap_or_else(|| panic!("pin/unpin of destroyed or unknown object {addr}"));
+        e.pinned = pinned;
+    }
+
     /// Locates the object by following the forwarding chain with control
     /// probes (the thread does not move). Caches the answer locally.
+    /// Returns a typed error for destroyed objects and chases that exceed
+    /// the hop bound.
     ///
     /// A locate that lands mid-move parks on the object's `move_waiters`
     /// (like [`ensure_at_object`](Kernel::ensure_at_object)) instead of
     /// reading descriptors mid-transfer: probing during the move could cache
     /// a stale hint or observe the registry in a half-installed state.
-    pub(crate) fn locate(&self, addr: VAddr) -> NodeId {
+    pub(crate) fn locate(&self, addr: VAddr) -> Result<NodeId, ProtocolError> {
         let me = must_current_thread();
         let origin = self.current_node();
         let mut cur = origin;
@@ -485,7 +592,7 @@ impl Kernel {
                         continue;
                     }
                     Some(_) => {}
-                    None => panic!("locate of destroyed or unknown object {addr}"),
+                    None => return Err(ProtocolError::ObjectDestroyed(addr)),
                 }
             }
             let desc = self.nodes[cur.index()].descriptors.read().lookup(addr);
@@ -514,12 +621,9 @@ impl Kernel {
             };
             if next == cur {
                 // Stale self-hint (move in flight); consult ground truth.
-                let loc = self
-                    .objects
-                    .lock(addr)
-                    .get(&addr)
-                    .map(|e| e.location)
-                    .unwrap_or_else(|| panic!("locate of destroyed object {addr}"));
+                let Some(loc) = self.objects.lock(addr).get(&addr).map(|e| e.location) else {
+                    return Err(ProtocolError::ObjectDestroyed(addr));
+                };
                 if loc == cur {
                     break;
                 }
@@ -530,7 +634,17 @@ impl Kernel {
                 continue;
             }
             hops += 1;
-            assert!(hops < 10_000, "locate of {addr} did not converge");
+            if hops >= MAX_CHASE_HOPS {
+                // Bounded give-up (see `ensure_at_object`): trace it and
+                // return an error rather than aborting the process.
+                ProtocolStats::bump(&self.pstats.chase_divergences);
+                self.trace(|| amber_engine::ProtocolEvent::ChaseDiverged {
+                    obj: addr.0,
+                    at: cur,
+                    hops,
+                });
+                return Err(ProtocolError::ChaseDiverged { addr, hops });
+            }
             self.one_way(cur, next, self.cost.control_packet_bytes, "locate-probe");
             cur = next;
         }
@@ -541,6 +655,6 @@ impl Kernel {
                 .write()
                 .cache_hint(addr, cur);
         }
-        cur
+        Ok(cur)
     }
 }

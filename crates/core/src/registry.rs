@@ -305,6 +305,8 @@ mod tests {
                     op_waiters: VecDeque::new(),
                     moving: false,
                     move_waiters: Vec::new(),
+                    calls: Box::new([]),
+                    pinned: false,
                 },
             );
         }

@@ -39,6 +39,13 @@ pub struct ProtocolStats {
     pub region_extensions: AtomicU64,
     /// Region-map misses answered by the address-space server.
     pub region_lookups: AtomicU64,
+    /// Advisory group moves issued by the adaptive placement engine.
+    pub advisory_moves: AtomicU64,
+    /// Placement advisories the kernel declined at execution time (pinned,
+    /// mid-move, destroyed, attached, immutable, or already at the target).
+    pub advisory_skips: AtomicU64,
+    /// Forwarding chases that exceeded the hop bound and gave up.
+    pub chase_divergences: AtomicU64,
 }
 
 /// Plain-data snapshot of [`ProtocolStats`].
@@ -58,6 +65,9 @@ pub struct ProtocolSnapshot {
     pub joins: u64,
     pub region_extensions: u64,
     pub region_lookups: u64,
+    pub advisory_moves: u64,
+    pub advisory_skips: u64,
+    pub chase_divergences: u64,
 }
 
 impl ProtocolStats {
@@ -82,6 +92,9 @@ impl ProtocolStats {
             joins: self.joins.load(Ordering::Relaxed),
             region_extensions: self.region_extensions.load(Ordering::Relaxed),
             region_lookups: self.region_lookups.load(Ordering::Relaxed),
+            advisory_moves: self.advisory_moves.load(Ordering::Relaxed),
+            advisory_skips: self.advisory_skips.load(Ordering::Relaxed),
+            chase_divergences: self.chase_divergences.load(Ordering::Relaxed),
         }
     }
 }
@@ -151,6 +164,9 @@ impl TraceSummary {
                 E::MessageRetransmit { .. } => s.retransmits += 1,
                 E::MessageDuplicateSuppressed { .. } => s.duplicates_suppressed += 1,
                 E::LinkPartitioned { .. } => s.partition_drops += 1,
+                E::AdvisoryMove { .. } => s.snapshot.advisory_moves += 1,
+                E::AdvisorySkipped { .. } => s.snapshot.advisory_skips += 1,
+                E::ChaseDiverged { .. } => s.snapshot.chase_divergences += 1,
             }
         }
         s

@@ -237,6 +237,14 @@ pub trait Engine: Send + Sync {
     /// runs at the destination after the modelled latency.
     fn send(&self, from: NodeId, to: NodeId, bytes: usize, handler: KernelFn);
 
+    /// Schedules `f` to run in kernel context after `delay`: a timer, not a
+    /// message — nothing travels, no network statistics are recorded and no
+    /// fault plan applies. Under the simulator the handler fires `delay` of
+    /// virtual time from now; under the real engine it is enqueued on the
+    /// timing wheel. Like message handlers, `f` must never block or charge
+    /// work. Used for periodic runtime duties (the placement tick).
+    fn after(&self, delay: SimTime, f: KernelFn);
+
     /// Voluntarily yields the processor (a timeslice point).
     fn yield_now(&self);
 

@@ -441,6 +441,10 @@ impl Engine for RealEngine {
         self.inner.enqueue_net(delay, handler);
     }
 
+    fn after(&self, delay: SimTime, f: KernelFn) {
+        self.inner.enqueue_net(delay.to_duration(), f);
+    }
+
     fn yield_now(&self) {
         let tid = must_current_thread();
         let tcb = self.tcb(tid);

@@ -574,6 +574,13 @@ impl Engine for SimEngine {
         self.inner.dispatch_cv.notify_one();
     }
 
+    fn after(&self, delay: SimTime, f: KernelFn) {
+        let mut st = self.inner.state.lock();
+        let at = st.clock + delay;
+        st.push_event(at, Event::Deliver { handler: f });
+        self.inner.dispatch_cv.notify_one();
+    }
+
     fn yield_now(&self) {
         let tid = must_current_thread();
         let mut st = self.inner.state.lock();

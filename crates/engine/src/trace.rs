@@ -171,6 +171,37 @@ pub enum ProtocolEvent {
         /// Unreachable receiver.
         to: NodeId,
     },
+    /// The adaptive placement advisor moved an object group toward its
+    /// dominant caller node (the underlying transfer also emits an
+    /// `ObjectMove`).
+    AdvisoryMove {
+        /// Address of the moved (root) object.
+        obj: u64,
+        /// Node the group left.
+        from: NodeId,
+        /// Dominant caller node the group moved to.
+        to: NodeId,
+    },
+    /// The kernel declined a placement advisory at execution time (object
+    /// pinned, mid-move, destroyed, attached, immutable, or already there).
+    AdvisorySkipped {
+        /// Address the advisor proposed to move.
+        obj: u64,
+        /// Destination the advisor proposed.
+        at: NodeId,
+        /// Why the kernel declined.
+        reason: &'static str,
+    },
+    /// A forwarding chase exceeded its hop bound and gave up with an error
+    /// instead of converging (mirrors the transport's retransmit give-up).
+    ChaseDiverged {
+        /// Address being chased.
+        obj: u64,
+        /// Node the chase gave up on.
+        at: NodeId,
+        /// Hops followed before giving up.
+        hops: u32,
+    },
 }
 
 impl ProtocolEvent {
@@ -195,6 +226,9 @@ impl ProtocolEvent {
             ProtocolEvent::MessageRetransmit { .. } => "message_retransmit",
             ProtocolEvent::MessageDuplicateSuppressed { .. } => "message_duplicate_suppressed",
             ProtocolEvent::LinkPartitioned { .. } => "link_partitioned",
+            ProtocolEvent::AdvisoryMove { .. } => "advisory_move",
+            ProtocolEvent::AdvisorySkipped { .. } => "advisory_skipped",
+            ProtocolEvent::ChaseDiverged { .. } => "chase_diverged",
         }
     }
 
@@ -211,7 +245,11 @@ impl ProtocolEvent {
             | ProtocolEvent::ObjectMove { to, .. }
             | ProtocolEvent::ThreadMigration { to, .. }
             | ProtocolEvent::Replication { to, .. } => to,
-            ProtocolEvent::ForwardHop { at, .. } | ProtocolEvent::HomeRoute { at, .. } => at,
+            ProtocolEvent::ForwardHop { at, .. }
+            | ProtocolEvent::HomeRoute { at, .. }
+            | ProtocolEvent::AdvisorySkipped { at, .. }
+            | ProtocolEvent::ChaseDiverged { at, .. } => at,
+            ProtocolEvent::AdvisoryMove { to, .. } => to,
             ProtocolEvent::Join { .. } => NodeId(0),
             ProtocolEvent::MessageSend { from, .. }
             | ProtocolEvent::MessageDropped { from, .. }
@@ -451,6 +489,24 @@ fn push_args(out: &mut String, event: &ProtocolEvent) {
         ProtocolEvent::MessageDuplicateSuppressed { from, to }
         | ProtocolEvent::LinkPartitioned { from, to } => {
             let _ = write!(out, "\"from\":{},\"to\":{}", from.index(), to.index());
+        }
+        ProtocolEvent::AdvisoryMove { obj, from, to } => {
+            let _ = write!(
+                out,
+                "\"obj\":{obj},\"from\":{},\"to\":{}",
+                from.index(),
+                to.index()
+            );
+        }
+        ProtocolEvent::AdvisorySkipped { obj, at, reason } => {
+            let _ = write!(
+                out,
+                "\"obj\":{obj},\"at\":{},\"reason\":\"{reason}\"",
+                at.index()
+            );
+        }
+        ProtocolEvent::ChaseDiverged { obj, at, hops } => {
+            let _ = write!(out, "\"obj\":{obj},\"at\":{},\"hops\":{hops}", at.index());
         }
     }
 }

@@ -1,0 +1,216 @@
+//! The stock adaptive placement policy: a credit-scored traffic advisor.
+//!
+//! `amber-core` owns the *mechanism* of adaptive placement (per-object
+//! per-caller-node counters, the tick daemon, advisory group moves — see
+//! `amber_core::PlacementPolicy`); this module is the *decision* half. The
+//! [`TrafficAdvisor`] accumulates a smoothed credit per object from the
+//! imbalance between its dominant caller node and its current node, and
+//! proposes a move only when the imbalance is persistent (credit threshold),
+//! decisive (hysteresis ratio), off cooldown, and within the per-tick move
+//! budget. Everything is deterministic for a deterministic sample stream:
+//! ties break toward lower node ids and lower addresses, and credits are
+//! compared with `total_cmp` (the same NaN-proof ordering the creation-time
+//! placers use).
+
+use amber_core::{NodeId, PlacementDecision, PlacementPolicy, PlacementSample, SimTime};
+use std::collections::HashMap;
+
+/// Tuning knobs for [`TrafficAdvisor`].
+#[derive(Clone, Debug)]
+pub struct AdaptiveConfig {
+    /// Placement tick cadence (virtual time under the simulator, wall clock
+    /// under the real engine).
+    pub tick: SimTime,
+    /// Minimum calls an object must receive in one tick window before it is
+    /// considered at all, and the credit level a candidate must reach.
+    pub min_calls: u64,
+    /// Dominance ratio: the top caller node must out-call the object's
+    /// current node by at least this factor. Values near 1.0 chase noise;
+    /// 2.0 waits for a clear winner.
+    pub hysteresis: f64,
+    /// Ticks an object sits out after being proposed (moved *or* skipped),
+    /// so one hot object cannot thrash back and forth between ticks.
+    pub cooldown_ticks: u64,
+    /// Rate limit: at most this many move proposals per tick, highest
+    /// credit first.
+    pub max_moves_per_tick: usize,
+}
+
+impl Default for AdaptiveConfig {
+    fn default() -> Self {
+        AdaptiveConfig {
+            tick: SimTime::from_ms(5),
+            min_calls: 16,
+            hysteresis: 2.0,
+            cooldown_ticks: 4,
+            max_moves_per_tick: 8,
+        }
+    }
+}
+
+/// The stock [`PlacementPolicy`]: moves objects toward their dominant
+/// caller node once the traffic imbalance is persistent and decisive.
+pub struct TrafficAdvisor {
+    cfg: AdaptiveConfig,
+    tick_no: u64,
+    /// Smoothed per-object credit: halved each tick the object appears,
+    /// then increased by the tick's (dominant - local) call imbalance.
+    credit: HashMap<u64, f64>,
+    /// Objects proposed recently sit out until this tick number.
+    cooldown_until: HashMap<u64, u64>,
+}
+
+impl TrafficAdvisor {
+    /// Creates the advisor with the given knobs.
+    pub fn new(cfg: AdaptiveConfig) -> TrafficAdvisor {
+        TrafficAdvisor {
+            cfg,
+            tick_no: 0,
+            credit: HashMap::new(),
+            cooldown_until: HashMap::new(),
+        }
+    }
+}
+
+impl PlacementPolicy for TrafficAdvisor {
+    fn tick_interval(&self) -> SimTime {
+        self.cfg.tick
+    }
+
+    fn decide(&mut self, _nodes: usize, samples: &[PlacementSample]) -> Vec<PlacementDecision> {
+        self.tick_no += 1;
+        let mut candidates: Vec<(f64, u64, NodeId)> = Vec::new();
+        for s in samples {
+            let (mut dom, mut dom_calls) = (0usize, 0u64);
+            for (node, &calls) in s.calls_by_node.iter().enumerate() {
+                if calls > dom_calls {
+                    dom = node;
+                    dom_calls = calls;
+                }
+            }
+            let local_calls = s
+                .calls_by_node
+                .get(s.location.index())
+                .copied()
+                .unwrap_or(0);
+            let gain = dom_calls as f64 - local_calls as f64;
+            let credit = {
+                let c = self.credit.entry(s.obj).or_insert(0.0);
+                *c = *c * 0.5 + gain;
+                *c
+            };
+            if dom == s.location.index() || dom_calls == 0 {
+                continue;
+            }
+            let total: u64 = s.calls_by_node.iter().sum();
+            if total < self.cfg.min_calls || credit < self.cfg.min_calls as f64 {
+                continue;
+            }
+            if (dom_calls as f64) < self.cfg.hysteresis * (local_calls.max(1) as f64) {
+                continue;
+            }
+            if self.cooldown_until.get(&s.obj).copied().unwrap_or(0) > self.tick_no {
+                continue;
+            }
+            candidates.push((credit, s.obj, NodeId::from(dom)));
+        }
+        candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        candidates.truncate(self.cfg.max_moves_per_tick);
+        candidates
+            .into_iter()
+            .map(|(_, obj, to)| {
+                self.credit.insert(obj, 0.0);
+                self.cooldown_until
+                    .insert(obj, self.tick_no + self.cfg.cooldown_ticks);
+                PlacementDecision { obj, to }
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn cfg() -> AdaptiveConfig {
+        AdaptiveConfig {
+            tick: SimTime::from_ms(1),
+            min_calls: 4,
+            hysteresis: 2.0,
+            cooldown_ticks: 3,
+            max_moves_per_tick: 2,
+        }
+    }
+
+    fn sample(obj: u64, location: usize, calls: &[u64]) -> PlacementSample {
+        PlacementSample {
+            obj,
+            location: NodeId::from(location),
+            calls_by_node: calls.to_vec(),
+        }
+    }
+
+    #[test]
+    fn moves_toward_dominant_caller() {
+        let mut adv = TrafficAdvisor::new(cfg());
+        let d = adv.decide(2, &[sample(16, 1, &[40, 2])]);
+        assert_eq!(
+            d,
+            vec![PlacementDecision {
+                obj: 16,
+                to: NodeId(0)
+            }]
+        );
+    }
+
+    #[test]
+    fn hysteresis_holds_back_weak_imbalance() {
+        let mut adv = TrafficAdvisor::new(cfg());
+        // 1.5x dominance < 2.0 hysteresis: no move, however much traffic.
+        let d = adv.decide(2, &[sample(16, 1, &[30, 20])]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn local_dominance_never_moves() {
+        let mut adv = TrafficAdvisor::new(cfg());
+        let d = adv.decide(2, &[sample(16, 0, &[100, 1])]);
+        assert!(d.is_empty());
+    }
+
+    #[test]
+    fn cooldown_suppresses_immediate_reproposal() {
+        let mut adv = TrafficAdvisor::new(cfg());
+        let hot = sample(16, 1, &[40, 2]);
+        assert_eq!(adv.decide(2, std::slice::from_ref(&hot)).len(), 1);
+        // Same imbalance next ticks: still cooling down.
+        assert!(adv.decide(2, std::slice::from_ref(&hot)).is_empty());
+        assert!(adv.decide(2, std::slice::from_ref(&hot)).is_empty());
+        // Cooldown expired (and credit rebuilt): proposed again.
+        assert_eq!(adv.decide(2, std::slice::from_ref(&hot)).len(), 1);
+    }
+
+    #[test]
+    fn rate_limit_takes_highest_credit_first() {
+        let mut adv = TrafficAdvisor::new(cfg());
+        let d = adv.decide(
+            2,
+            &[
+                sample(16, 1, &[10, 0]),
+                sample(32, 1, &[80, 0]),
+                sample(48, 1, &[40, 0]),
+            ],
+        );
+        assert_eq!(d.len(), 2, "rate limit");
+        assert_eq!(d[0].obj, 32, "highest credit first");
+        assert_eq!(d[1].obj, 48);
+    }
+
+    #[test]
+    fn quiet_objects_are_ignored() {
+        let mut adv = TrafficAdvisor::new(cfg());
+        // Below min_calls in the window.
+        let d = adv.decide(2, &[sample(16, 1, &[3, 0])]);
+        assert!(d.is_empty());
+    }
+}

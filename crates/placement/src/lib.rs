@@ -10,6 +10,8 @@
 
 #![warn(missing_docs)]
 
+pub mod adaptive;
+
 use amber_core::{AmberObject, Ctx, NodeId, ObjRef};
 use parking_lot::Mutex;
 use std::sync::Arc;

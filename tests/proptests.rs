@@ -274,3 +274,106 @@ fn deterministic_across_cluster_shapes() {
         assert_eq!(once(), once(), "{nodes}x{procs} not deterministic");
     }
 }
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Hint-cache staleness: however movers, invokers, the adaptive
+    /// placement advisor and a lossy network interleave, a descriptor
+    /// chase never takes more forward hops than the number of moves the
+    /// object has completed so far plus one (the chain cannot be longer
+    /// than the moves that built it), and the captured trace reconciles
+    /// counter-for-counter with the live stats.
+    #[test]
+    fn stale_hints_never_overchase(
+        seed in 0u64..(1u64 << 32),
+        moves in proptest::collection::vec(0u16..3, 1..10),
+    ) {
+        use amber_core::{EngineChoice, FaultPlan, ProtocolEvent, ThreadId, TraceSummary};
+        use amber_placement::adaptive::{AdaptiveConfig, TrafficAdvisor};
+        use std::collections::HashMap;
+
+        let c = Cluster::builder()
+            .nodes(3)
+            .processors(2)
+            .engine(EngineChoice::Sim)
+            .faults(
+                FaultPlan::seeded(seed)
+                    .drop_rate(0.03)
+                    .duplicate_rate(0.01),
+            )
+            .adaptive_placement(|| {
+                TrafficAdvisor::new(AdaptiveConfig {
+                    tick: SimTime::from_ms(20),
+                    min_calls: 3,
+                    ..AdaptiveConfig::default()
+                })
+            })
+            .build();
+        let sink = c.enable_tracing();
+        c.run(move |ctx| {
+            let ball = ctx.create(0u64);
+            let a1 = ctx.create_on(NodeId(1), 0u8);
+            let a2 = ctx.create_on(NodeId(2), 0u8);
+            let h1 = ctx.start(&a1, move |ctx, _| {
+                for _ in 0..12 {
+                    ctx.invoke(&ball, |_, n| *n += 1);
+                }
+            });
+            let h2 = ctx.start(&a2, move |ctx, _| {
+                for _ in 0..12 {
+                    ctx.invoke(&ball, |_, n| *n += 1);
+                }
+            });
+            for m in &moves {
+                ctx.move_to(&ball, NodeId(*m));
+                ctx.sleep(SimTime::from_ms(2));
+            }
+            h1.join(ctx);
+            h2.join(ctx);
+            assert_eq!(ctx.invoke(&ball, |_, n| *n), 24, "lost invocations");
+        })
+        .unwrap();
+
+        let events = sink.take();
+        // Completed moves per object so far (advisory moves execute as
+        // ordinary object moves, so ObjectMove covers both), and each
+        // thread's current chase: (object, consecutive forward hops).
+        // Migrations keep a chase alive; any other action by the thread
+        // ends it.
+        let mut moves_done: HashMap<u64, u64> = HashMap::new();
+        let mut chases: HashMap<ThreadId, (u64, u64)> = HashMap::new();
+        for r in &events {
+            if let ProtocolEvent::ObjectMove { obj, .. } = r.event {
+                *moves_done.entry(obj).or_insert(0) += 1;
+            }
+            let Some(t) = r.thread else { continue };
+            match r.event {
+                ProtocolEvent::ForwardHop { obj, .. } => {
+                    let chase = chases.entry(t).or_insert((obj, 0));
+                    if chase.0 != obj {
+                        *chase = (obj, 0);
+                    }
+                    chase.1 += 1;
+                    let bound = moves_done.get(&obj).copied().unwrap_or(0) + 1;
+                    prop_assert!(
+                        chase.1 <= bound,
+                        "{t} chased {obj:#x} for {} hops after only {} moves",
+                        chase.1,
+                        bound - 1
+                    );
+                }
+                ProtocolEvent::ThreadMigration { .. } => {}
+                _ => {
+                    chases.remove(&t);
+                }
+            }
+        }
+        let summary = TraceSummary::from_events(&events);
+        prop_assert_eq!(summary.snapshot, c.protocol_stats());
+        let net = c.net_stats();
+        prop_assert_eq!(summary.messages, net.total_msgs());
+        prop_assert_eq!(summary.message_bytes, net.total_bytes());
+        prop_assert_eq!(summary.dropped, net.total_drops());
+    }
+}

@@ -121,3 +121,77 @@ fn timeout_fires_on_a_hung_program() {
     let err = c.run(|ctx| ctx.park("never-woken")).unwrap_err();
     assert_eq!(err, amber_core::EngineError::Timeout);
 }
+
+#[test]
+fn destroyed_references_error_on_real_threads() {
+    // Locate reports the typed error directly; a full invoke halts the
+    // thread under a protocol-error label, which on the real engine
+    // surfaces as the run deadline expiring rather than a process abort.
+    let c = real_cluster(2, 2);
+    c.run(|ctx| {
+        let a = ctx.create_on(NodeId(1), 5u32);
+        let addr = ctx.addr_of(&a);
+        ctx.destroy(a);
+        assert_eq!(
+            ctx.try_locate(&a),
+            Err(amber_core::ProtocolError::ObjectDestroyed(addr))
+        );
+    })
+    .unwrap();
+
+    let c = Cluster::builder()
+        .nodes(1)
+        .processors(2)
+        .engine(EngineChoice::Real)
+        .latency(LatencyModel::zero())
+        .deadline(Duration::from_millis(300))
+        .build();
+    let err = c
+        .run(|ctx| {
+            let a = ctx.create(5u32);
+            ctx.destroy(a);
+            ctx.invoke(&a, |_, _| ());
+        })
+        .unwrap_err();
+    assert_eq!(err, amber_core::EngineError::Timeout);
+}
+
+#[test]
+fn adaptive_placement_localizes_skewed_traffic_on_real_threads() {
+    use amber_placement::adaptive::{AdaptiveConfig, TrafficAdvisor};
+
+    let c = Cluster::builder()
+        .nodes(2)
+        .processors(2)
+        .engine(EngineChoice::Real)
+        .latency(LatencyModel::zero())
+        .deadline(Duration::from_secs(60))
+        .adaptive_placement(|| {
+            TrafficAdvisor::new(AdaptiveConfig {
+                tick: SimTime::from_ms(1),
+                min_calls: 8,
+                ..AdaptiveConfig::default()
+            })
+        })
+        .build();
+    c.run(|ctx| {
+        let anchor = ctx.create(0u8); // node 0
+        let hot = ctx.create_on(NodeId(1), 0u64);
+        let h = ctx.start(&anchor, move |ctx, _| {
+            for _ in 0..3000 {
+                ctx.invoke(&hot, |_, n| *n += 1);
+            }
+        });
+        h.join(ctx);
+        assert_eq!(ctx.invoke(&hot, |_, n| *n), 3000);
+        // After the advisor acts, dominance and location agree on node 0,
+        // so the placement is stable for the rest of the run.
+        assert_eq!(ctx.try_locate(&hot), Ok(NodeId(0)));
+    })
+    .unwrap();
+    let p = c.protocol_stats();
+    assert!(p.advisory_moves >= 1, "advisor never moved: {p:?}");
+    // 3000 static iterations would migrate the worker ~6000 times; the
+    // advisory move must eliminate the overwhelming majority.
+    assert!(p.thread_migrations < 3000, "traffic stayed remote: {p:?}");
+}
