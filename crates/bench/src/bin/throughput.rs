@@ -7,7 +7,11 @@
 //! local-invoke sweep with the traffic advisor running (pricing its
 //! bookkeeping), plus the skewed-traffic scenario at 2/4/8 nodes with the
 //! advisor off and on, so `throughput_check` can gate on how many forward
-//! hops and thread migrations adaptive placement removes.
+//! hops and thread migrations adaptive placement removes. Likewise the
+//! `replica-placement` label: the read-mostly immutable scenario at 2/4/8
+//! nodes with the advisor off and on (demand replication off in both), so
+//! the gate can require advisor-driven replication to strictly reduce
+//! remote invokes.
 //!
 //! Environment switches:
 //!
@@ -28,8 +32,8 @@
 //! retransmission stalls.
 
 use amber_bench::throughput::{
-    run_local_invoke, run_lossy_invoke, run_mixed, run_skewed_invoke, write_merged, Point,
-    LOSS_PERCENTS, NODE_COUNTS,
+    run_local_invoke, run_lossy_invoke, run_mixed, run_read_hot_invoke, run_skewed_invoke,
+    write_merged, Point, LOSS_PERCENTS, NODE_COUNTS,
 };
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -48,10 +52,11 @@ fn row(p: &Point) -> Vec<String> {
         format!("{:.0}", p.ops_per_sec()),
         p.forward_hops.to_string(),
         p.thread_migrations.to_string(),
+        p.remote_invokes.to_string(),
     ]
 }
 
-const COLUMNS: [&str; 7] = [
+const COLUMNS: [&str; 8] = [
     "scenario",
     "nodes",
     "ops",
@@ -59,6 +64,7 @@ const COLUMNS: [&str; 7] = [
     "ops/sec",
     "fwd hops",
     "migrations",
+    "remote",
 ];
 
 fn main() {
@@ -104,9 +110,23 @@ fn main() {
         &apoints.iter().map(row).collect::<Vec<_>>(),
     );
 
+    // The replica-placement label: read-mostly traffic over immutable
+    // objects with demand replication off, static vs. advisor-replicated.
+    let mut rpoints = Vec::new();
+    for n in [2usize, 4, 8] {
+        rpoints.push(run_read_hot_invoke(n, skew_iters, false));
+        rpoints.push(run_read_hot_invoke(n, skew_iters, true));
+    }
+    amber_bench::print_table(
+        "Replica placement (RealEngine, kernel = replica-placement)",
+        &COLUMNS,
+        &rpoints.iter().map(row).collect::<Vec<_>>(),
+    );
+
     let path = std::path::PathBuf::from(out);
     let wrote = write_merged(&path, &label, &points)
-        .and_then(|()| write_merged(&path, "adaptive-placement", &apoints));
+        .and_then(|()| write_merged(&path, "adaptive-placement", &apoints))
+        .and_then(|()| write_merged(&path, "replica-placement", &rpoints));
     match wrote {
         Ok(()) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),

@@ -13,7 +13,12 @@
 //! 2. at every measured node count, the adaptive skewed run took strictly
 //!    fewer forward hops than the static skewed run;
 //! 3. at 4 nodes, the static run's forward hops + thread migrations are at
-//!    least 2x the adaptive run's.
+//!    least 2x the adaptive run's;
+//! 4. the `replica-placement` label's read-mostly immutable scenario shows
+//!    advisor-driven replication earning its keep: at every measured node
+//!    count the adaptive run took strictly fewer remote invokes than the
+//!    static run, and at 4 nodes the static run took at least 2x the
+//!    adaptive run's remote invokes.
 
 use amber_bench::throughput::{existing_runs, parse_points, ParsedPoint};
 
@@ -121,6 +126,44 @@ fn main() {
     }
     if compared == 0 {
         die("adaptive-placement run has no skewed_invoke points");
+    }
+
+    // Gate 4: advisor-driven replication must strictly reduce remote
+    // invokes on the read-mostly immutable scenario.
+    let Some(replica) = points_of("replica-placement") else {
+        die(&format!("{path} has no replica-placement run"));
+    };
+    let mut compared = 0;
+    for p in &replica {
+        if p.scenario != "read_hot_invoke" {
+            continue;
+        }
+        let Some(a) = replica
+            .iter()
+            .find(|a| a.scenario == "read_hot_invoke_adaptive" && a.nodes == p.nodes)
+        else {
+            die(&format!("no adaptive read_hot run at {} nodes", p.nodes));
+        };
+        compared += 1;
+        if a.remote_invokes >= p.remote_invokes {
+            die(&format!(
+                "at {} nodes adaptive remote_invokes {} not below static {}",
+                p.nodes, a.remote_invokes, p.remote_invokes
+            ));
+        }
+        if p.nodes == 4 && p.remote_invokes < 2 * a.remote_invokes {
+            die(&format!(
+                "at 4 nodes static remote_invokes {} is under 2x adaptive {}",
+                p.remote_invokes, a.remote_invokes
+            ));
+        }
+        println!(
+            "throughput_check: read_hot {} nodes: static remote invokes {}, adaptive {} (ok)",
+            p.nodes, p.remote_invokes, a.remote_invokes
+        );
+    }
+    if compared == 0 {
+        die("replica-placement run has no read_hot_invoke points");
     }
     println!("throughput_check: PASS");
 }

@@ -22,6 +22,12 @@
 //!   pays a forward hop and a migration round trip per operation. The
 //!   adaptive variant turns the placement advisor on and records how many
 //!   of those the advisory moves eliminate.
+//! * `read_hot_invoke` / `read_hot_invoke_adaptive` (2/4/8 nodes) —
+//!   read-mostly skew over *immutable* objects living on node 0, with
+//!   demand replication off so a remote read migrates the calling thread.
+//!   The adaptive variant lets the traffic advisor install replicas on the
+//!   heavy reader nodes; the point records how many remote invokes those
+//!   replicas eliminate.
 //!
 //! [`RealEngine`]: amber_engine::RealEngine
 
@@ -48,6 +54,9 @@ pub struct Point {
     pub forward_hops: u64,
     /// Thread migrations during the operation phase (0 likewise).
     pub thread_migrations: u64,
+    /// Remote invocations during the operation phase (0 for scenarios that
+    /// do not measure replica placement).
+    pub remote_invokes: u64,
 }
 
 impl Point {
@@ -78,6 +87,8 @@ fn bench_advisor() -> TrafficAdvisor {
         hysteresis: 2.0,
         cooldown_ticks: 4,
         max_moves_per_tick: 16,
+        max_replicas_per_tick: 16,
+        replica_cap: 8,
     })
 }
 
@@ -151,6 +162,7 @@ pub fn run_local_invoke(nodes: usize, iters: u64, adaptive: bool) -> Point {
         elapsed,
         forward_hops: 0,
         thread_migrations: 0,
+        remote_invokes: 0,
     }
 }
 
@@ -212,6 +224,86 @@ pub fn run_skewed_invoke(nodes: usize, iters: u64, adaptive: bool) -> Point {
         elapsed,
         forward_hops,
         thread_migrations,
+        remote_invokes: 0,
+    }
+}
+
+/// Read-mostly skew over immutable objects: a few immutable objects live
+/// on node 0 (their origin), demand replication is off, and a worker on
+/// every *other* node hammers shared reads of them (with an occasional
+/// local mutable bump mixed in); node 0's own worker only touches its
+/// private counter. Statically each remote read migrates the calling
+/// thread to node 0 and back. With `adaptive` the traffic advisor sees the
+/// heavy readers and installs replicas on their nodes, after which their
+/// reads are local; the point records the remote invokes actually taken so
+/// the two runs can be compared.
+pub fn run_read_hot_invoke(nodes: usize, iters: u64, adaptive: bool) -> Point {
+    const HOT: usize = 2;
+    let cluster = real_builder(nodes, adaptive)
+        .demand_replication(false)
+        .build();
+    let (ops, elapsed, remote_invokes, forward_hops, thread_migrations) = cluster
+        .run(move |ctx| {
+            let n = ctx.nodes();
+            let hot: Vec<_> = (0..HOT)
+                .map(|i| {
+                    let h = ctx.create_on(NodeId::from(0), 7u64 + i as u64);
+                    ctx.set_immutable(&h);
+                    h
+                })
+                .collect();
+            let work: Vec<_> = (0..n)
+                .map(|k| {
+                    let node = NodeId::from(k);
+                    (ctx.create_on(node, 0u8), ctx.create_on(node, 0u64))
+                })
+                .collect();
+            let s0 = ctx.protocol_stats();
+            let t0 = Instant::now();
+            let hs: Vec<_> = work
+                .iter()
+                .enumerate()
+                .map(|(k, &(anchor, counter))| {
+                    let hot = hot.clone();
+                    ctx.start(&anchor, move |ctx, _| {
+                        for i in 0..iters {
+                            if k == 0 || i % 8 == 7 {
+                                ctx.invoke(&counter, |_, c| *c += 1);
+                            } else {
+                                let v = ctx.invoke_shared(&hot[i as usize % HOT], |_, v| *v);
+                                assert!(v >= 7, "immutable read returned garbage");
+                            }
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join(ctx);
+            }
+            let elapsed = t0.elapsed();
+            let s1 = ctx.protocol_stats();
+            (
+                iters * n as u64,
+                elapsed,
+                s1.remote_invokes - s0.remote_invokes,
+                s1.forward_hops - s0.forward_hops,
+                s1.thread_migrations - s0.thread_migrations,
+            )
+        })
+        .expect("read-hot bench run failed");
+    Point {
+        scenario: if adaptive {
+            "read_hot_invoke_adaptive"
+        } else {
+            "read_hot_invoke"
+        },
+        nodes,
+        workers: nodes,
+        ops,
+        elapsed,
+        forward_hops,
+        thread_migrations,
+        remote_invokes,
     }
 }
 
@@ -275,6 +367,7 @@ pub fn run_mixed(nodes: usize, iters: u64) -> Point {
         elapsed,
         forward_hops: 0,
         thread_migrations: 0,
+        remote_invokes: 0,
     }
 }
 
@@ -349,6 +442,7 @@ pub fn run_lossy_invoke(nodes: usize, iters: u64, loss_pct: u32) -> Point {
         elapsed,
         forward_hops: 0,
         thread_migrations: 0,
+        remote_invokes: 0,
     }
 }
 
@@ -358,7 +452,7 @@ pub fn run_json(points: &[Point]) -> String {
     let mut out = String::from("{\n      \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "        {{\"scenario\":\"{}\",\"nodes\":{},\"workers\":{},\"ops\":{},\"elapsed_ns\":{},\"ops_per_sec\":{:.1},\"forward_hops\":{},\"thread_migrations\":{}}}{}\n",
+            "        {{\"scenario\":\"{}\",\"nodes\":{},\"workers\":{},\"ops\":{},\"elapsed_ns\":{},\"ops_per_sec\":{:.1},\"forward_hops\":{},\"thread_migrations\":{},\"remote_invokes\":{}}}{}\n",
             p.scenario,
             p.nodes,
             p.workers,
@@ -367,6 +461,7 @@ pub fn run_json(points: &[Point]) -> String {
             p.ops_per_sec(),
             p.forward_hops,
             p.thread_migrations,
+            p.remote_invokes,
             if i + 1 < points.len() { "," } else { "" },
         ));
     }
@@ -387,6 +482,8 @@ pub struct ParsedPoint {
     pub forward_hops: u64,
     /// Thread migrations taken (0 when the file predates the field).
     pub thread_migrations: u64,
+    /// Remote invocations taken (0 when the file predates the field).
+    pub remote_invokes: u64,
 }
 
 /// Pulls one `"key":value` field out of a single-line point object.
@@ -413,6 +510,9 @@ pub fn parse_points(run_obj: &str) -> Vec<ParsedPoint> {
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(0),
                 thread_migrations: point_field(line, "thread_migrations")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0),
+                remote_invokes: point_field(line, "remote_invokes")
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(0),
             })
@@ -515,6 +615,7 @@ mod tests {
             elapsed: Duration::from_millis(50),
             forward_hops: 7,
             thread_migrations: 3,
+            remote_invokes: 5,
         }
     }
 
@@ -558,9 +659,25 @@ mod tests {
         assert!((parsed[0].ops_per_sec - 2000.0).abs() < 0.2);
         assert_eq!(parsed[0].forward_hops, 7);
         assert_eq!(parsed[0].thread_migrations, 3);
+        assert_eq!(parsed[0].remote_invokes, 5);
         // Points written before the placement fields existed parse as zero.
         let old = parse_points("{\"scenario\":\"mixed\",\"nodes\":1,\"ops_per_sec\":10.0}");
         assert_eq!(old[0].forward_hops, 0);
+        assert_eq!(old[0].remote_invokes, 0);
+    }
+
+    #[test]
+    fn tiny_read_hot_invoke_run_measures_remote_reads() {
+        let p = run_read_hot_invoke(2, 32, false);
+        assert_eq!(p.ops, 64);
+        assert_eq!(p.scenario, "read_hot_invoke");
+        // Node 1 reads the hot immutable objects 28 times, and with demand
+        // replication off each read migrates to node 0 and back.
+        assert!(
+            p.remote_invokes >= 28,
+            "remote_invokes = {}",
+            p.remote_invokes
+        );
     }
 
     #[test]

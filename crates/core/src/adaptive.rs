@@ -50,15 +50,36 @@ pub struct PlacementSample {
     /// Invocations started on each node since the previous tick, summed
     /// over the whole attachment group; indexed by node.
     pub calls_by_node: Vec<u64>,
+    /// Whether the object is immutable — replication is only legal (and
+    /// only proposed) for immutable objects.
+    pub immutable: bool,
+    /// Nodes that already hold a replica of this object (empty for mutable
+    /// objects). Lets a policy cap replica sets and avoid re-proposing.
+    pub replicas: Vec<NodeId>,
+    /// Run-queue depth sampled once per tick, indexed by node. A staleness-
+    /// tolerant load hint: policies may use it to *prefer* lightly loaded
+    /// targets, never for correctness. Shared across every sample of the
+    /// tick.
+    pub queue_depth: Vec<u64>,
 }
 
-/// A policy's proposal: move `obj`'s group to `to`.
+/// A policy's proposal for one object.
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
-pub struct PlacementDecision {
-    /// Raw address of the object to move (a group root).
-    pub obj: u64,
-    /// Proposed destination node.
-    pub to: NodeId,
+pub enum PlacementDecision {
+    /// Move `obj`'s attachment group to `to`.
+    Move {
+        /// Raw address of the object to move (a group root).
+        obj: u64,
+        /// Proposed destination node.
+        to: NodeId,
+    },
+    /// Install a replica of the immutable object `obj` on `to`.
+    Replicate {
+        /// Raw address of the immutable object to replicate.
+        obj: u64,
+        /// Reader node that should receive a copy.
+        to: NodeId,
+    },
 }
 
 /// The decision half of adaptive placement.
@@ -130,6 +151,7 @@ impl PlacementRuntime {
 struct Observation {
     location: NodeId,
     attached_to: Option<VAddr>,
+    immutable: bool,
     calls: Vec<u64>,
 }
 
@@ -257,6 +279,7 @@ impl Kernel {
                 Observation {
                     location: e.location,
                     attached_to: e.attached_to,
+                    immutable: e.immutable,
                     calls,
                 },
             );
@@ -267,7 +290,7 @@ impl Kernel {
         // shard at a time, so a chain mutated mid-drain can look torn;
         // walking is bounded and a dangling parent just drops that object's
         // contribution for one tick.
-        let mut tally: HashMap<VAddr, (NodeId, Vec<u64>)> = HashMap::new();
+        let mut tally: HashMap<VAddr, (NodeId, bool, Vec<u64>)> = HashMap::new();
         for (addr, obs) in &observed {
             if obs.calls.iter().all(|&v| v == 0) {
                 continue;
@@ -286,19 +309,33 @@ impl Kernel {
             };
             let entry = tally
                 .entry(root)
-                .or_insert_with(|| (root_obs.location, vec![0u64; n]));
+                .or_insert_with(|| (root_obs.location, root_obs.immutable, vec![0u64; n]));
             for (slot, v) in obs.calls.iter().enumerate() {
-                entry.1[slot] += v;
+                entry.2[slot] += v;
             }
         }
 
+        // Load hint, sampled once and shared by every sample this tick.
+        let queue_depth: Vec<u64> = (0..n)
+            .map(|i| self.engine.run_queue_depth(NodeId(i as u16)) as u64)
+            .collect();
+
         let mut samples: Vec<PlacementSample> = tally
             .into_iter()
-            .map(|(addr, (location, calls_by_node))| PlacementSample {
-                obj: addr.raw(),
-                location,
-                calls_by_node,
-            })
+            .map(
+                |(addr, (location, immutable, calls_by_node))| PlacementSample {
+                    obj: addr.raw(),
+                    location,
+                    calls_by_node,
+                    immutable,
+                    replicas: if immutable {
+                        self.replica_holders(addr)
+                    } else {
+                        Vec::new()
+                    },
+                    queue_depth: queue_depth.clone(),
+                },
+            )
             .collect();
         samples.sort_by_key(|s| s.obj);
         if samples.is_empty() {
@@ -307,24 +344,55 @@ impl Kernel {
 
         let decisions = p.policy.lock().decide(n, &samples);
         for d in decisions {
-            match self.advisory_move(VAddr(d.obj), d.to) {
-                Ok(from) => {
-                    ProtocolStats::bump(&self.pstats.advisory_moves);
-                    self.trace(|| ProtocolEvent::AdvisoryMove {
-                        obj: d.obj,
-                        from,
-                        to: d.to,
-                    });
-                }
-                Err(reason) => {
-                    ProtocolStats::bump(&self.pstats.advisory_skips);
-                    self.trace(|| ProtocolEvent::AdvisorySkipped {
-                        obj: d.obj,
-                        at: d.to,
-                        reason,
-                    });
+            match d {
+                PlacementDecision::Move { obj, to } => match self.advisory_move(VAddr(obj), to) {
+                    Ok(from) => {
+                        ProtocolStats::bump(&self.pstats.advisory_moves);
+                        self.trace(|| ProtocolEvent::AdvisoryMove { obj, from, to });
+                    }
+                    Err(reason) => {
+                        ProtocolStats::bump(&self.pstats.advisory_skips);
+                        self.trace(|| ProtocolEvent::AdvisorySkipped {
+                            obj,
+                            at: to,
+                            reason,
+                        });
+                    }
+                },
+                PlacementDecision::Replicate { obj, to } => {
+                    match self.advisory_replicate(VAddr(obj), to) {
+                        Ok(from) => {
+                            ProtocolStats::bump(&self.pstats.advisory_replications);
+                            self.trace(|| ProtocolEvent::AdvisoryReplicate { obj, from, to });
+                        }
+                        Err(reason) => {
+                            ProtocolStats::bump(&self.pstats.advisory_skips);
+                            self.trace(|| ProtocolEvent::AdvisorySkipped {
+                                obj,
+                                at: to,
+                                reason,
+                            });
+                        }
+                    }
                 }
             }
         }
+    }
+
+    /// Nodes currently holding a replica descriptor for `addr`, in node
+    /// order. A per-node read-lock scan; only the daemon calls it, once per
+    /// immutable sample per tick.
+    fn replica_holders(&self, addr: VAddr) -> Vec<NodeId> {
+        self.nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, nk)| {
+                matches!(
+                    nk.descriptors.read().lookup(addr),
+                    Some(amber_vspace::Residency::Replica)
+                )
+            })
+            .map(|(i, _)| NodeId(i as u16))
+            .collect()
     }
 }

@@ -66,6 +66,7 @@ pub struct ClusterBuilder {
     deadline: Option<Duration>,
     faults: Option<amber_engine::FaultPlan>,
     adaptive: Option<PolicyFactory>,
+    demand_replication: bool,
 }
 
 impl std::fmt::Debug for ClusterBuilder {
@@ -80,6 +81,7 @@ impl std::fmt::Debug for ClusterBuilder {
             .field("deadline", &self.deadline)
             .field("faults", &self.faults)
             .field("adaptive", &self.adaptive.is_some())
+            .field("demand_replication", &self.demand_replication)
             .finish()
     }
 }
@@ -96,6 +98,7 @@ impl Default for ClusterBuilder {
             deadline: None,
             faults: None,
             adaptive: None,
+            demand_replication: true,
         }
     }
 }
@@ -169,6 +172,17 @@ impl ClusterBuilder {
         self
     }
 
+    /// Whether a shared invocation of an immutable object replicates it to
+    /// the caller's node on demand (default `true`, the paper's section 2.3
+    /// semantics). Set `false` to leave replica placement entirely to the
+    /// adaptive advisor (and explicit `MoveTo`): reads away from a replica
+    /// then migrate the calling thread like any remote invocation, which is
+    /// what the advisor's replication decisions optimize away.
+    pub fn demand_replication(mut self, on: bool) -> Self {
+        self.demand_replication = on;
+        self
+    }
+
     /// Builds the cluster.
     pub fn build(self) -> Cluster {
         let mut spec = amber_engine::ClusterSpec::uniform(self.nodes, self.processors)
@@ -188,7 +202,12 @@ impl ClusterBuilder {
             }
         };
         let policy = self.adaptive.map(|make| make());
-        let kernel = Kernel::new(Arc::clone(&engine), self.cost, policy);
+        let kernel = Kernel::new(
+            Arc::clone(&engine),
+            self.cost,
+            policy,
+            self.demand_replication,
+        );
         Cluster { kernel }
     }
 }
@@ -559,7 +578,7 @@ impl Ctx {
     /// spin loop built from `yield_now` alone keeps its thread perpetually
     /// runnable and the virtual clock can never advance past it. Charge a
     /// small poll cost with [`work`](Ctx::work) in every spin loop (as
-    /// [`amber_sync::SpinLock`] does).
+    /// `SpinLock` in the `amber-sync` crate does).
     pub fn yield_now(&self) {
         self.kernel.engine.yield_now();
         self.kernel.recheck_residency();

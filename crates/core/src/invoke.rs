@@ -495,9 +495,12 @@ impl Kernel {
             self.set_carry(me, carry);
         }
         // Immutable objects replicate to the caller instead of shipping the
-        // caller (section 2.3's read-only replication).
-        let at = if immutable {
-            self.replicate_here(addr);
+        // caller (section 2.3's read-only replication). With demand
+        // replication off, copies install only where the placement advisor
+        // puts them: a read away from a replica migrates the thread like any
+        // other remote invocation.
+        let at = if immutable && self.demand_replication {
+            self.replicate_here(addr).unwrap_or_else(|e| self.halt(e));
             start_node
         } else {
             self.ensure_at_object(addr, true)

@@ -164,6 +164,12 @@ pub struct Kernel {
     /// Adaptive placement state (policy, tick arming, daemon handle); `None`
     /// when the cluster was built without a placement policy.
     pub(crate) placement: Option<PlacementRuntime>,
+    /// When `true` (the default, the paper's semantics), a shared invocation
+    /// of an immutable object replicates it to the caller's node on demand.
+    /// When `false`, replicas install only where the placement advisor (or
+    /// an explicit `MoveTo`) puts them, and other remote reads migrate the
+    /// thread.
+    pub(crate) demand_replication: bool,
 }
 
 impl Kernel {
@@ -173,6 +179,7 @@ impl Kernel {
         engine: Arc<dyn Engine>,
         cost: CostModel,
         policy: Option<Box<dyn PlacementPolicy>>,
+        demand_replication: bool,
     ) -> Arc<Kernel> {
         let n = engine.nodes();
         let mut server = AddressSpaceServer::new();
@@ -202,6 +209,7 @@ impl Kernel {
             topology: Mutex::new(()),
             pstats: ProtocolStats::default(),
             placement: policy.map(|p| PlacementRuntime::new(p, n)),
+            demand_replication,
         })
     }
 
@@ -386,17 +394,13 @@ impl Kernel {
             shard.remove(&addr).expect("entry vanished")
         };
         let me = self.current_node();
-        self.nodes[me.index()].descriptors.write().clear(addr);
-        if entry.location != me {
-            self.nodes[entry.location.index()]
-                .descriptors
-                .write()
-                .clear(addr);
+        // Clear the address on *every* node, not just here/location/home:
+        // replicas (demand- or advisor-installed) and cached forwarding
+        // hints may live anywhere, and a stale `Replica` descriptor would
+        // alias the next object the home heap hands out at this address.
+        for node in &self.nodes {
+            node.descriptors.write().clear(addr);
         }
-        self.nodes[entry.home.index()]
-            .descriptors
-            .write()
-            .clear(addr);
         self.nodes[entry.home.index()]
             .heap
             .lock()

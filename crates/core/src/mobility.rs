@@ -150,7 +150,11 @@ impl Kernel {
         };
         if immutable {
             let _ = source;
-            self.replicate_at(addr, dest);
+            // A concurrent destroy can win the race between the claim above
+            // and the holder serving the copy; halt the thread under the
+            // typed reason rather than aborting the process.
+            self.replicate_at(addr, dest)
+                .unwrap_or_else(|e| self.halt(e));
             return;
         }
         let _ = my_node;
@@ -318,20 +322,27 @@ impl Kernel {
     }
 
     /// Installs a replica of immutable object `addr` on the current node if
-    /// one is not already present.
-    pub(crate) fn replicate_here(&self, addr: VAddr) {
+    /// one is not already present. Fails (instead of panicking) when a
+    /// concurrent destroy wins the race — see
+    /// [`replicate_at`](Kernel::replicate_at).
+    pub(crate) fn replicate_here(&self, addr: VAddr) -> Result<NodeId, ProtocolError> {
         let here = self.current_node();
-        self.replicate_at(addr, here);
+        self.replicate_at(addr, here)
     }
 
-    /// Installs a replica of immutable object `addr` on `node`.
-    fn replicate_at(&self, addr: VAddr, node: NodeId) {
+    /// Installs a replica of immutable object `addr` on `node`, parking if
+    /// another thread is already installing one there. Returns the node the
+    /// copy came from, or [`ProtocolError::ObjectDestroyed`] when a
+    /// concurrent destroy races the transfer.
+    fn replicate_at(&self, addr: VAddr, node: NodeId) -> Result<NodeId, ProtocolError> {
         let me = must_current_thread();
         // One transfer per (object, node): later readers park until the
         // in-flight replica installs.
         loop {
             if self.nodes[node.index()].descriptors.read().is_local(addr) {
-                return;
+                // Already resident or replicated here; report the node
+                // itself as the (trivial) source.
+                return Ok(node);
             }
             let mut inflight = self.nodes[node.index()].replicating.lock();
             match inflight.get_mut(&addr) {
@@ -346,35 +357,59 @@ impl Kernel {
                 }
             }
         }
-        let (location, size) = {
+        self.replicate_install(addr, node)
+    }
+
+    /// The transfer half of replication. The caller owns the in-flight
+    /// claim in `node`'s `replicating` map; this always releases it and
+    /// wakes parked waiters, on both the success and the destroyed path.
+    fn replicate_install(&self, addr: VAddr, node: NodeId) -> Result<NodeId, ProtocolError> {
+        let lookup = |check_immutable: bool| {
             let shard = self.objects.lock(addr);
-            let e = shard
-                .get(&addr)
-                .unwrap_or_else(|| panic!("replication of destroyed object {addr}"));
-            debug_assert!(e.immutable, "replication of a mutable object");
-            (e.location, e.size)
+            shard.get(&addr).map(|e| {
+                if check_immutable {
+                    debug_assert!(e.immutable, "replication of a mutable object");
+                }
+                (e.location, e.size)
+            })
+        };
+        let release = |this: &Kernel| {
+            let waiters = this.nodes[node.index()]
+                .replicating
+                .lock()
+                .remove(&addr)
+                .unwrap_or_default();
+            for t in waiters {
+                this.engine.unblock_kernel(t);
+            }
+        };
+        let Some((location, _)) = lookup(true) else {
+            release(self);
+            return Err(ProtocolError::ObjectDestroyed(addr));
         };
         // Request/response with the holder: a control request, then the
-        // object's bytes come back.
+        // object's bytes come back. (An immutable object never moves, so
+        // `location` stays valid across the blocking sends below.)
         let my_node = self.current_node();
-        if my_node == node {
-            self.one_way(
-                node,
-                location,
-                self.cost.control_packet_bytes,
-                "replica-request",
-            );
-            self.one_way(location, node, size, "replica-data");
-        } else {
-            // Third-party replication (MoveTo of an immutable to elsewhere):
-            // the requester relays.
-            self.one_way(
-                my_node,
-                location,
-                self.cost.control_packet_bytes,
-                "replica-request",
-            );
-            self.one_way(location, node, size, "replica-data");
+        self.one_way(
+            my_node,
+            location,
+            self.cost.control_packet_bytes,
+            "replica-request",
+        );
+        // The holder reads the object only now, when the request arrives: a
+        // destroy that won the race while the request was in flight makes
+        // the copy impossible. Re-check liveness at this block point rather
+        // than trusting the pre-send read.
+        let Some((_, size)) = lookup(false) else {
+            release(self);
+            return Err(ProtocolError::ObjectDestroyed(addr));
+        };
+        self.one_way(location, node, size, "replica-data");
+        if my_node != node {
+            // Third-party replication (MoveTo of an immutable to elsewhere,
+            // or a placement advisory): the destination confirms back to
+            // the requester.
             self.one_way(node, my_node, self.cost.control_packet_bytes, "replica-ack");
         }
         self.engine.work(self.cost.move_install);
@@ -389,14 +424,53 @@ impl Kernel {
             to: node,
             bytes: size,
         });
-        let waiters = self.nodes[node.index()]
-            .replicating
-            .lock()
-            .remove(&addr)
-            .unwrap_or_default();
-        for t in waiters {
-            self.engine.unblock_kernel(t);
+        release(self);
+        Ok(location)
+    }
+
+    /// Executes a replication advisory: a one-shot, never-parking replica
+    /// install of immutable object `addr` on `dest`. Returns the node the
+    /// copy came from on success, or the reason the kernel declined — like
+    /// [`advisory_move`](Kernel::advisory_move), proposals are best-effort
+    /// and a declined one costs one skip event.
+    ///
+    /// Where a plain reader parks on an in-flight install, the placement
+    /// daemon skips (`mid-install`): the replica is arriving anyway, and the
+    /// daemon must never park on user-driven traffic.
+    pub(crate) fn advisory_replicate(
+        &self,
+        addr: VAddr,
+        dest: NodeId,
+    ) -> Result<NodeId, &'static str> {
+        if dest.index() >= self.nodes.len() {
+            return Err("no-such-node");
         }
+        {
+            let shard = self.objects.lock(addr);
+            let Some(e) = shard.get(&addr) else {
+                return Err("destroyed");
+            };
+            if !e.immutable {
+                return Err("not-immutable");
+            }
+            if e.moving {
+                return Err("mid-move");
+            }
+            if e.location == dest {
+                return Err("already-there");
+            }
+        }
+        {
+            let mut inflight = self.nodes[dest.index()].replicating.lock();
+            if inflight.contains_key(&addr) {
+                return Err("mid-install");
+            }
+            if self.nodes[dest.index()].descriptors.read().is_local(addr) {
+                return Err("already-there");
+            }
+            inflight.insert(addr, Vec::new());
+        }
+        self.replicate_install(addr, dest).map_err(|_| "destroyed")
     }
 
     /// Marks the object immutable: it will never again be modified, so

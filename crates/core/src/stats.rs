@@ -41,8 +41,12 @@ pub struct ProtocolStats {
     pub region_lookups: AtomicU64,
     /// Advisory group moves issued by the adaptive placement engine.
     pub advisory_moves: AtomicU64,
+    /// Advisory replica installs issued by the adaptive placement engine
+    /// (each also counts under `replications`).
+    pub advisory_replications: AtomicU64,
     /// Placement advisories the kernel declined at execution time (pinned,
-    /// mid-move, destroyed, attached, immutable, or already at the target).
+    /// mid-move, mid-install, destroyed, attached, wrong mutability, or
+    /// already at the target).
     pub advisory_skips: AtomicU64,
     /// Forwarding chases that exceeded the hop bound and gave up.
     pub chase_divergences: AtomicU64,
@@ -66,6 +70,7 @@ pub struct ProtocolSnapshot {
     pub region_extensions: u64,
     pub region_lookups: u64,
     pub advisory_moves: u64,
+    pub advisory_replications: u64,
     pub advisory_skips: u64,
     pub chase_divergences: u64,
 }
@@ -93,6 +98,7 @@ impl ProtocolStats {
             region_extensions: self.region_extensions.load(Ordering::Relaxed),
             region_lookups: self.region_lookups.load(Ordering::Relaxed),
             advisory_moves: self.advisory_moves.load(Ordering::Relaxed),
+            advisory_replications: self.advisory_replications.load(Ordering::Relaxed),
             advisory_skips: self.advisory_skips.load(Ordering::Relaxed),
             chase_divergences: self.chase_divergences.load(Ordering::Relaxed),
         }
@@ -165,6 +171,7 @@ impl TraceSummary {
                 E::MessageDuplicateSuppressed { .. } => s.duplicates_suppressed += 1,
                 E::LinkPartitioned { .. } => s.partition_drops += 1,
                 E::AdvisoryMove { .. } => s.snapshot.advisory_moves += 1,
+                E::AdvisoryReplicate { .. } => s.snapshot.advisory_replications += 1,
                 E::AdvisorySkipped { .. } => s.snapshot.advisory_skips += 1,
                 E::ChaseDiverged { .. } => s.snapshot.chase_divergences += 1,
             }

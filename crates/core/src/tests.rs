@@ -1168,7 +1168,7 @@ mod adaptive {
                         .enumerate()
                         .max_by_key(|&(_, c)| *c)?;
                     if calls >= self.min_calls && NodeId::from(dom) != s.location {
-                        Some(PlacementDecision {
+                        Some(PlacementDecision::Move {
                             obj: s.obj,
                             to: NodeId::from(dom),
                         })
@@ -1248,6 +1248,199 @@ mod adaptive {
         let p = c.protocol_stats();
         assert_eq!(p.advisory_moves, 0, "pin ignored: {p:?}");
         assert!(p.advisory_skips >= 1, "pin never consulted: {p:?}");
+    }
+
+    /// Replication-side counterpart of [`TestPolicy`]: propose a replica on
+    /// every node that logged `min_calls` reads of an immutable object and
+    /// does not hold one yet. Mutable objects are proposed as replication
+    /// targets anyway when `propose_mutable` is set, to exercise the
+    /// kernel's skip path.
+    struct ReplicatePolicy {
+        tick: SimTime,
+        min_calls: u64,
+        propose_mutable: bool,
+    }
+
+    impl PlacementPolicy for ReplicatePolicy {
+        fn tick_interval(&self) -> SimTime {
+            self.tick
+        }
+
+        fn decide(&mut self, _nodes: usize, samples: &[PlacementSample]) -> Vec<PlacementDecision> {
+            let (min_calls, propose_mutable) = (self.min_calls, self.propose_mutable);
+            samples
+                .iter()
+                .flat_map(move |s| {
+                    let eligible = s.immutable || propose_mutable;
+                    s.calls_by_node
+                        .iter()
+                        .enumerate()
+                        .filter(move |&(n, &c)| {
+                            eligible
+                                && c >= min_calls
+                                && NodeId::from(n) != s.location
+                                && !s.replicas.contains(&NodeId::from(n))
+                        })
+                        .map(|(n, _)| PlacementDecision::Replicate {
+                            obj: s.obj,
+                            to: NodeId::from(n),
+                        })
+                        .collect::<Vec<_>>()
+                })
+                .collect()
+        }
+    }
+
+    fn replica_sim(nodes: usize, propose_mutable: bool) -> Cluster {
+        Cluster::builder()
+            .nodes(nodes)
+            .processors(2)
+            .demand_replication(false)
+            .adaptive_placement(move || ReplicatePolicy {
+                tick: SimTime::from_ms(30),
+                min_calls: 3,
+                propose_mutable,
+            })
+            .build()
+    }
+
+    #[test]
+    fn advisor_installs_replicas_on_heavy_reader_nodes() {
+        let c = replica_sim(3, false);
+        let sink = c.enable_tracing();
+        c.run(|ctx| {
+            let hot = ctx.create(41u64);
+            ctx.set_immutable(&hot);
+            let hs: Vec<_> = [NodeId(1), NodeId(2)]
+                .into_iter()
+                .map(|node| {
+                    let anchor = ctx.create_on(node, 0u8);
+                    ctx.start(&anchor, move |ctx, _| {
+                        for _ in 0..40 {
+                            assert_eq!(ctx.invoke_shared(&hot, |_, v| *v), 41);
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join(ctx);
+            }
+            // The origin keeps the object: replication copies, never moves.
+            assert_eq!(ctx.try_locate(&hot), Ok(NodeId(0)));
+        })
+        .unwrap();
+        let p = c.protocol_stats();
+        assert!(
+            p.advisory_replications >= 1,
+            "advisor never replicated: {p:?}"
+        );
+        assert!(
+            p.replications >= p.advisory_replications,
+            "every advisory replication is a replication: {p:?}"
+        );
+        assert_eq!(p.object_moves, 0, "replication must not move: {p:?}");
+        // The replicas pay off inside the run: with demand replication off,
+        // a static placement would migrate the reader on all 80 reads.
+        assert!(p.remote_invokes < 80, "readers stayed remote: {p:?}");
+        assert!(p.local_invokes >= 1, "no read was served locally: {p:?}");
+        let events = sink.take();
+        assert!(events
+            .iter()
+            .any(|r| r.event.name() == "advisory_replicate"));
+        let summary = crate::TraceSummary::from_events(&events);
+        assert_eq!(summary.snapshot, p);
+        assert_eq!(summary.messages, c.net_stats().total_msgs());
+    }
+
+    #[test]
+    fn replication_advisories_against_mutable_objects_are_skipped() {
+        let c = replica_sim(2, true);
+        c.run(|ctx| {
+            let anchor = ctx.create_on(NodeId(1), 0u8);
+            let hot = ctx.create(0u64); // mutable, lives on node 0
+            let h = ctx.start(&anchor, move |ctx, _| {
+                for _ in 0..40 {
+                    ctx.invoke(&hot, |_, n| *n += 1);
+                }
+            });
+            h.join(ctx);
+            assert_eq!(ctx.try_locate(&hot), Ok(NodeId(0)));
+        })
+        .unwrap();
+        let p = c.protocol_stats();
+        assert_eq!(p.advisory_replications, 0, "mutable replicated: {p:?}");
+        assert_eq!(p.replications, 0, "mutable replicated: {p:?}");
+        assert!(p.advisory_skips >= 1, "skip not recorded: {p:?}");
+    }
+
+    #[test]
+    fn without_demand_replication_remote_reads_migrate_instead_of_copying() {
+        let c = Cluster::builder()
+            .nodes(2)
+            .processors(2)
+            .demand_replication(false)
+            .build();
+        c.run(|ctx| {
+            let hot = ctx.create(7u64);
+            ctx.set_immutable(&hot);
+            let anchor = ctx.create_on(NodeId(1), 0u8);
+            let h = ctx.start(&anchor, move |ctx, _| {
+                for _ in 0..5 {
+                    assert_eq!(ctx.invoke_shared(&hot, |_, v| *v), 7);
+                }
+            });
+            h.join(ctx);
+        })
+        .unwrap();
+        let p = c.protocol_stats();
+        assert_eq!(p.replications, 0, "demand replication ran anyway: {p:?}");
+        assert!(p.remote_invokes >= 5, "reads did not migrate: {p:?}");
+    }
+
+    #[test]
+    fn destroy_racing_replication_is_a_typed_halt_not_a_panic() {
+        // A MoveTo of an immutable object replicates it; a destroy landing
+        // while the replica request is in flight used to panic the whole
+        // process ("replication of destroyed object"). Now the transfer
+        // re-checks liveness when the holder would serve the copy and the
+        // mover halts under the typed protocol-error reason, which the
+        // simulator's deadlock detector then reports. The destroy must land
+        // inside the request's network flight time, so sweep the (virtual,
+        // deterministic) delay until the window is hit.
+        let mut hit = false;
+        for delay_us in [10u64, 50, 100, 200, 500, 1000, 2000, 5000, 10_000] {
+            let c = sim(2, 2);
+            let result = c.run(move |ctx| {
+                let obj = ctx.create(9u64);
+                ctx.set_immutable(&obj);
+                let anchor = ctx.create_on(NodeId(1), 0u8);
+                let h = ctx.start(&anchor, move |ctx, _| {
+                    // Mover on node 1: the replica request must cross the
+                    // network to node 0, leaving a window for the destroy.
+                    ctx.move_to(&obj, NodeId(1));
+                });
+                ctx.sleep(SimTime::from_us(delay_us));
+                ctx.destroy(obj);
+                h.join(ctx);
+            });
+            match result {
+                // Destroy won before the mover even looked the object up
+                // (caller bug, still a panic) or lost outright (move done).
+                Ok(()) => continue,
+                Err(e) => {
+                    let msg = e.to_string();
+                    if msg.contains("MoveTo on destroyed") {
+                        continue;
+                    }
+                    assert!(
+                        msg.contains("deadlock") && msg.contains("object-destroyed"),
+                        "unexpected failure mode at {delay_us}us: {msg}"
+                    );
+                    hit = true;
+                }
+            }
+        }
+        assert!(hit, "no sweep delay hit the destroy-vs-replication window");
     }
 
     #[test]

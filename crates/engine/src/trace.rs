@@ -182,8 +182,20 @@ pub enum ProtocolEvent {
         /// Dominant caller node the group moved to.
         to: NodeId,
     },
+    /// The adaptive placement advisor installed a replica of an immutable
+    /// object on a heavy reader node (the underlying transfer also emits a
+    /// `Replication`).
+    AdvisoryReplicate {
+        /// Address of the replicated object.
+        obj: u64,
+        /// Node the copy came from.
+        from: NodeId,
+        /// Reader node the replica installed on.
+        to: NodeId,
+    },
     /// The kernel declined a placement advisory at execution time (object
-    /// pinned, mid-move, destroyed, attached, immutable, or already there).
+    /// pinned, mid-move, mid-install, destroyed, attached, mutable where a
+    /// replica was proposed, immutable where a move was, or already there).
     AdvisorySkipped {
         /// Address the advisor proposed to move.
         obj: u64,
@@ -227,6 +239,7 @@ impl ProtocolEvent {
             ProtocolEvent::MessageDuplicateSuppressed { .. } => "message_duplicate_suppressed",
             ProtocolEvent::LinkPartitioned { .. } => "link_partitioned",
             ProtocolEvent::AdvisoryMove { .. } => "advisory_move",
+            ProtocolEvent::AdvisoryReplicate { .. } => "advisory_replicate",
             ProtocolEvent::AdvisorySkipped { .. } => "advisory_skipped",
             ProtocolEvent::ChaseDiverged { .. } => "chase_diverged",
         }
@@ -249,7 +262,8 @@ impl ProtocolEvent {
             | ProtocolEvent::HomeRoute { at, .. }
             | ProtocolEvent::AdvisorySkipped { at, .. }
             | ProtocolEvent::ChaseDiverged { at, .. } => at,
-            ProtocolEvent::AdvisoryMove { to, .. } => to,
+            ProtocolEvent::AdvisoryMove { to, .. }
+            | ProtocolEvent::AdvisoryReplicate { to, .. } => to,
             ProtocolEvent::Join { .. } => NodeId(0),
             ProtocolEvent::MessageSend { from, .. }
             | ProtocolEvent::MessageDropped { from, .. }
@@ -490,7 +504,8 @@ fn push_args(out: &mut String, event: &ProtocolEvent) {
         | ProtocolEvent::LinkPartitioned { from, to } => {
             let _ = write!(out, "\"from\":{},\"to\":{}", from.index(), to.index());
         }
-        ProtocolEvent::AdvisoryMove { obj, from, to } => {
+        ProtocolEvent::AdvisoryMove { obj, from, to }
+        | ProtocolEvent::AdvisoryReplicate { obj, from, to } => {
             let _ = write!(
                 out,
                 "\"obj\":{obj},\"from\":{},\"to\":{}",

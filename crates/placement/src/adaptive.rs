@@ -11,6 +11,15 @@
 //! ties break toward lower node ids and lower addresses, and credits are
 //! compared with `total_cmp` (the same NaN-proof ordering the creation-time
 //! placers use).
+//!
+//! Immutable objects get the dual treatment: instead of moving, a heavy
+//! *reader* node earns a replica once the object's remote-reader credit
+//! clears the same persistence/decisiveness/cooldown machinery, subject to a
+//! separate per-tick replica budget and a per-object replica-set cap.
+//! Candidate targets (for both moves and replicas) are scored
+//! load-aware: each node's raw call count is discounted by the run-queue
+//! depth sampled into the tick's [`PlacementSample`], so traffic prefers
+//! lightly loaded nodes when call volumes tie.
 
 use amber_core::{NodeId, PlacementDecision, PlacementPolicy, PlacementSample, SimTime};
 use std::collections::HashMap;
@@ -34,6 +43,14 @@ pub struct AdaptiveConfig {
     /// Rate limit: at most this many move proposals per tick, highest
     /// credit first.
     pub max_moves_per_tick: usize,
+    /// Rate limit for replication, separate from the move budget: at most
+    /// this many replica proposals per tick, highest load-aware reader
+    /// score first.
+    pub max_replicas_per_tick: usize,
+    /// Cap on an immutable object's replica set (nodes holding a copy, not
+    /// counting the origin). Once reached, no further replicas are
+    /// proposed for that object.
+    pub replica_cap: usize,
 }
 
 impl Default for AdaptiveConfig {
@@ -44,6 +61,8 @@ impl Default for AdaptiveConfig {
             hysteresis: 2.0,
             cooldown_ticks: 4,
             max_moves_per_tick: 8,
+            max_replicas_per_tick: 4,
+            replica_cap: 4,
         }
     }
 }
@@ -79,20 +98,82 @@ impl PlacementPolicy for TrafficAdvisor {
 
     fn decide(&mut self, _nodes: usize, samples: &[PlacementSample]) -> Vec<PlacementDecision> {
         self.tick_no += 1;
-        let mut candidates: Vec<(f64, u64, NodeId)> = Vec::new();
+        let mut movers: Vec<(f64, u64, NodeId)> = Vec::new();
+        let mut replicators: Vec<(f64, u64, NodeId)> = Vec::new();
         for s in samples {
-            let (mut dom, mut dom_calls) = (0usize, 0u64);
-            for (node, &calls) in s.calls_by_node.iter().enumerate() {
-                if calls > dom_calls {
-                    dom = node;
-                    dom_calls = calls;
-                }
-            }
+            // Load-aware discount: a node's run-queue depth deflates its
+            // attractiveness as a target. Depth is a hint (may be stale or
+            // absent), so it only tilts scores, never gates.
+            let depth = |n: usize| s.queue_depth.get(n).copied().unwrap_or(0) as f64;
+            let load_score = |n: usize, calls: u64| calls as f64 / (1.0 + depth(n));
             let local_calls = s
                 .calls_by_node
                 .get(s.location.index())
                 .copied()
                 .unwrap_or(0);
+
+            if s.immutable {
+                // Replication path: credit accumulates from reads arriving
+                // on nodes not yet served by a copy.
+                let unserved =
+                    |n: usize| n != s.location.index() && !s.replicas.contains(&NodeId::from(n));
+                let remote: u64 = s
+                    .calls_by_node
+                    .iter()
+                    .enumerate()
+                    .filter(|(n, _)| unserved(*n))
+                    .map(|(_, &c)| c)
+                    .sum();
+                let credit = {
+                    let c = self.credit.entry(s.obj).or_insert(0.0);
+                    *c = *c * 0.5 + remote as f64;
+                    *c
+                };
+                if remote == 0 {
+                    continue;
+                }
+                let total: u64 = s.calls_by_node.iter().sum();
+                if total < self.cfg.min_calls || credit < self.cfg.min_calls as f64 {
+                    continue;
+                }
+                // Decisiveness: unserved remote reads must dominate reads
+                // the origin already serves locally.
+                if (remote as f64) < self.cfg.hysteresis * (local_calls.max(1) as f64) {
+                    continue;
+                }
+                if self.cooldown_until.get(&s.obj).copied().unwrap_or(0) > self.tick_no {
+                    continue;
+                }
+                let room = self.cfg.replica_cap.saturating_sub(s.replicas.len());
+                if room == 0 {
+                    continue;
+                }
+                let mut readers: Vec<(f64, usize)> = s
+                    .calls_by_node
+                    .iter()
+                    .enumerate()
+                    .filter(|(n, &c)| unserved(*n) && c >= self.cfg.min_calls)
+                    .map(|(n, &c)| (load_score(n, c), n))
+                    .collect();
+                readers.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+                readers.truncate(room);
+                for (score, n) in readers {
+                    replicators.push((score, s.obj, NodeId::from(n)));
+                }
+                continue;
+            }
+
+            // Move path: pick the dominant caller by load-discounted score
+            // (raw calls when depths tie), lower node id winning exact ties.
+            let (mut dom, mut dom_calls, mut dom_score) = (0usize, 0u64, 0.0f64);
+            for (node, &calls) in s.calls_by_node.iter().enumerate() {
+                let score = load_score(node, calls);
+                if calls > 0 && score > dom_score {
+                    dom = node;
+                    dom_calls = calls;
+                    dom_score = score;
+                }
+            }
             let gain = dom_calls as f64 - local_calls as f64;
             let credit = {
                 let c = self.credit.entry(s.obj).or_insert(0.0);
@@ -112,19 +193,28 @@ impl PlacementPolicy for TrafficAdvisor {
             if self.cooldown_until.get(&s.obj).copied().unwrap_or(0) > self.tick_no {
                 continue;
             }
-            candidates.push((credit, s.obj, NodeId::from(dom)));
+            movers.push((credit, s.obj, NodeId::from(dom)));
         }
-        candidates.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
-        candidates.truncate(self.cfg.max_moves_per_tick);
-        candidates
-            .into_iter()
-            .map(|(_, obj, to)| {
-                self.credit.insert(obj, 0.0);
-                self.cooldown_until
-                    .insert(obj, self.tick_no + self.cfg.cooldown_ticks);
-                PlacementDecision { obj, to }
-            })
-            .collect()
+
+        movers.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        movers.truncate(self.cfg.max_moves_per_tick);
+        replicators.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        replicators.truncate(self.cfg.max_replicas_per_tick);
+
+        let mut out: Vec<PlacementDecision> = Vec::new();
+        for (_, obj, to) in movers {
+            self.credit.insert(obj, 0.0);
+            self.cooldown_until
+                .insert(obj, self.tick_no + self.cfg.cooldown_ticks);
+            out.push(PlacementDecision::Move { obj, to });
+        }
+        for (_, obj, to) in replicators {
+            self.credit.insert(obj, 0.0);
+            self.cooldown_until
+                .insert(obj, self.tick_no + self.cfg.cooldown_ticks);
+            out.push(PlacementDecision::Replicate { obj, to });
+        }
+        out
     }
 }
 
@@ -139,6 +229,8 @@ mod tests {
             hysteresis: 2.0,
             cooldown_ticks: 3,
             max_moves_per_tick: 2,
+            max_replicas_per_tick: 2,
+            replica_cap: 2,
         }
     }
 
@@ -147,6 +239,22 @@ mod tests {
             obj,
             location: NodeId::from(location),
             calls_by_node: calls.to_vec(),
+            immutable: false,
+            replicas: Vec::new(),
+            queue_depth: vec![0; calls.len()],
+        }
+    }
+
+    fn immutable_sample(
+        obj: u64,
+        location: usize,
+        calls: &[u64],
+        replicas: &[usize],
+    ) -> PlacementSample {
+        PlacementSample {
+            immutable: true,
+            replicas: replicas.iter().map(|&n| NodeId::from(n)).collect(),
+            ..sample(obj, location, calls)
         }
     }
 
@@ -156,7 +264,7 @@ mod tests {
         let d = adv.decide(2, &[sample(16, 1, &[40, 2])]);
         assert_eq!(
             d,
-            vec![PlacementDecision {
+            vec![PlacementDecision::Move {
                 obj: 16,
                 to: NodeId(0)
             }]
@@ -202,8 +310,21 @@ mod tests {
             ],
         );
         assert_eq!(d.len(), 2, "rate limit");
-        assert_eq!(d[0].obj, 32, "highest credit first");
-        assert_eq!(d[1].obj, 48);
+        assert_eq!(
+            d[0],
+            PlacementDecision::Move {
+                obj: 32,
+                to: NodeId(0)
+            },
+            "highest credit first"
+        );
+        assert_eq!(
+            d[1],
+            PlacementDecision::Move {
+                obj: 48,
+                to: NodeId(0)
+            }
+        );
     }
 
     #[test]
@@ -212,5 +333,121 @@ mod tests {
         // Below min_calls in the window.
         let d = adv.decide(2, &[sample(16, 1, &[3, 0])]);
         assert!(d.is_empty());
+    }
+
+    #[test]
+    fn immutable_objects_replicate_toward_heavy_readers() {
+        let mut adv = TrafficAdvisor::new(cfg());
+        // Origin on node 0; nodes 1 and 2 both read heavily.
+        let d = adv.decide(3, &[immutable_sample(16, 0, &[1, 40, 20], &[])]);
+        assert_eq!(
+            d,
+            vec![
+                PlacementDecision::Replicate {
+                    obj: 16,
+                    to: NodeId(1)
+                },
+                PlacementDecision::Replicate {
+                    obj: 16,
+                    to: NodeId(2)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn replica_cap_limits_the_replica_set() {
+        let mut adv = TrafficAdvisor::new(cfg());
+        // Cap is 2 and nodes 1, 2 already hold copies: node 3's heavy reads
+        // earn nothing.
+        let d = adv.decide(4, &[immutable_sample(16, 0, &[1, 5, 5, 40], &[1, 2])]);
+        assert!(d.is_empty(), "replica cap reached: {d:?}");
+    }
+
+    #[test]
+    fn nodes_already_holding_replicas_are_not_reproposed() {
+        let mut adv = TrafficAdvisor::new(cfg());
+        let d = adv.decide(3, &[immutable_sample(16, 0, &[1, 40, 40], &[1])]);
+        assert_eq!(
+            d,
+            vec![PlacementDecision::Replicate {
+                obj: 16,
+                to: NodeId(2)
+            }]
+        );
+    }
+
+    #[test]
+    fn replica_budget_is_separate_from_move_budget() {
+        let mut adv = TrafficAdvisor::new(cfg());
+        // Two hot mutable movers exhaust the move budget; the immutable
+        // object's replication still goes through on its own budget.
+        let d = adv.decide(
+            2,
+            &[
+                sample(16, 1, &[80, 0]),
+                sample(32, 1, &[60, 0]),
+                immutable_sample(48, 0, &[1, 40], &[]),
+            ],
+        );
+        assert_eq!(d.len(), 3, "moves: {d:?}");
+        assert!(matches!(d[2], PlacementDecision::Replicate { obj: 48, .. }));
+    }
+
+    #[test]
+    fn replication_prefers_lightly_loaded_readers() {
+        let mut adv = TrafficAdvisor::new(cfg());
+        // Node 1 reads slightly more but is deeply queued; node 2 wins the
+        // single budget... both qualify, order flips toward the idle node.
+        let mut s = immutable_sample(16, 0, &[1, 50, 40], &[]);
+        s.queue_depth = vec![0, 9, 0];
+        let mut c = cfg();
+        c.max_replicas_per_tick = 1;
+        let mut adv2 = TrafficAdvisor::new(c);
+        let d = adv2.decide(3, std::slice::from_ref(&s));
+        assert_eq!(
+            d,
+            vec![PlacementDecision::Replicate {
+                obj: 16,
+                to: NodeId(2)
+            }]
+        );
+        // With no load signal the raw call count decides.
+        s.queue_depth = vec![0, 0, 0];
+        let d = adv.decide(3, std::slice::from_ref(&s));
+        assert_eq!(
+            d[0],
+            PlacementDecision::Replicate {
+                obj: 16,
+                to: NodeId(1)
+            }
+        );
+    }
+
+    #[test]
+    fn moves_prefer_lightly_loaded_dominant_callers() {
+        let mut adv = TrafficAdvisor::new(cfg());
+        // Node 0 calls more but is saturated; node 2's lighter queue makes
+        // it the better target even with fewer calls.
+        let mut s = sample(16, 1, &[50, 2, 40]);
+        s.queue_depth = vec![9, 0, 0];
+        let d = adv.decide(3, std::slice::from_ref(&s));
+        assert_eq!(
+            d,
+            vec![PlacementDecision::Move {
+                obj: 16,
+                to: NodeId(2)
+            }]
+        );
+    }
+
+    #[test]
+    fn replication_cooldown_suppresses_immediate_reproposal() {
+        let mut adv = TrafficAdvisor::new(cfg());
+        let hot = immutable_sample(16, 0, &[1, 40], &[]);
+        assert_eq!(adv.decide(2, std::slice::from_ref(&hot)).len(), 1);
+        assert!(adv.decide(2, std::slice::from_ref(&hot)).is_empty());
+        assert!(adv.decide(2, std::slice::from_ref(&hot)).is_empty());
+        assert_eq!(adv.decide(2, std::slice::from_ref(&hot)).len(), 1);
     }
 }

@@ -376,4 +376,130 @@ proptest! {
         prop_assert_eq!(summary.message_bytes, net.total_bytes());
         prop_assert_eq!(summary.dropped, net.total_drops());
     }
+
+    /// Replicas are behaviorally invisible: whatever values readers observe
+    /// through advisor-installed replicas over a lossy network are exactly
+    /// the values an origin-served run returns, and the captured trace
+    /// (including `advisory_replications`) reconciles counter-for-counter
+    /// with the live stats.
+    #[test]
+    fn replicas_are_behaviorally_invisible(
+        seed in 0u64..(1u64 << 32),
+        payload in 1u64..1_000_000,
+        reads in 4u32..24,
+    ) {
+        use amber_core::{EngineChoice, FaultPlan, TraceSummary};
+        use amber_placement::adaptive::{AdaptiveConfig, TrafficAdvisor};
+
+        // Readers on every non-origin node each read `reads` times and
+        // report the observed values; the driver returns them in node order.
+        let observe = |advisor: bool| {
+            let mut b = Cluster::builder()
+                .nodes(4)
+                .processors(2)
+                .engine(EngineChoice::Sim)
+                .demand_replication(false)
+                .faults(
+                    FaultPlan::seeded(seed)
+                        .drop_rate(0.03)
+                        .duplicate_rate(0.01),
+                );
+            if advisor {
+                // A remote read costs ~8ms of virtual time, so a 30ms tick
+                // window sees a few reads per node — enough to cross the
+                // advisor's thresholds while readers are still running (at
+                // higher read counts; low counts exercise the no-replica
+                // path of the same assertions).
+                b = b.adaptive_placement(|| {
+                    TrafficAdvisor::new(AdaptiveConfig {
+                        tick: SimTime::from_ms(30),
+                        min_calls: 3,
+                        ..AdaptiveConfig::default()
+                    })
+                });
+            }
+            let c = b.build();
+            let sink = c.enable_tracing();
+            let values = c
+                .run(move |ctx| {
+                    let hot = ctx.create(payload);
+                    ctx.set_immutable(&hot);
+                    let hs: Vec<_> = (1..4u16)
+                        .map(|node| {
+                            let a = ctx.create_on(NodeId(node), 0u8);
+                            ctx.start(&a, move |ctx, _| {
+                                (0..reads)
+                                    .map(|_| ctx.invoke_shared(&hot, |_, v| *v))
+                                    .collect::<Vec<u64>>()
+                            })
+                        })
+                        .collect();
+                    hs.into_iter().map(|h| h.join(ctx)).collect::<Vec<_>>()
+                })
+                .unwrap();
+            (values, sink.take(), c.protocol_stats(), c.net_stats())
+        };
+
+        let (origin_values, _, origin_stats, _) = observe(false);
+        let (replica_values, events, stats, net) = observe(true);
+
+        // Same observations, replica-served or not.
+        prop_assert_eq!(&replica_values, &origin_values);
+        for per_reader in &origin_values {
+            prop_assert!(per_reader.iter().all(|&v| v == payload));
+        }
+        // The origin-served run never replicates; the advisor run's
+        // replications (if its thresholds were crossed) all came from
+        // advisories.
+        prop_assert_eq!(origin_stats.replications, 0);
+        prop_assert_eq!(stats.replications, stats.advisory_replications);
+        // Exact trace/stats reconciliation, advisory_replications included.
+        let summary = TraceSummary::from_events(&events);
+        prop_assert_eq!(summary.snapshot, stats);
+        prop_assert_eq!(summary.messages, net.total_msgs());
+        prop_assert_eq!(summary.message_bytes, net.total_bytes());
+        prop_assert_eq!(summary.dropped, net.total_drops());
+    }
+}
+
+/// Exclusive invocation of an immutable object fails identically whether or
+/// not replicas of it exist: replication must not change the error surface.
+#[test]
+fn exclusive_invoke_of_replicated_object_fails_like_origin() {
+    let attempt = |replicate_first: bool| {
+        let c = Cluster::sim(2, 2);
+        c.run(move |ctx| {
+            let hot = ctx.create(5u64);
+            ctx.set_immutable(&hot);
+            if replicate_first {
+                // Demand replication (the default) installs a copy on the
+                // reader's node before the exclusive attempt.
+                let a = ctx.create_on(NodeId(1), 0u8);
+                let h = ctx.start(&a, move |ctx, _| {
+                    assert_eq!(ctx.invoke_shared(&hot, |_, v| *v), 5);
+                    ctx.invoke(&hot, |_, v| *v += 1); // must panic
+                });
+                h.join(ctx);
+            } else {
+                ctx.invoke(&hot, |_, v| *v += 1); // must panic
+            }
+        })
+        .unwrap_err()
+        .to_string()
+    };
+    let origin = attempt(false);
+    let replicated = attempt(true);
+    for msg in [&origin, &replicated] {
+        assert!(
+            msg.contains("exclusive invocation of immutable object"),
+            "unexpected error: {msg}"
+        );
+    }
+    // Identical failure payload (both runs allocate the object at the same
+    // address); only the panicking thread's name differs.
+    let payload = |msg: &str| {
+        let i = msg.find("panicked: ").expect("not a panic error");
+        msg[i..].to_string()
+    };
+    assert_eq!(payload(&origin), payload(&replicated));
 }
