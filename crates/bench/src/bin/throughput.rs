@@ -11,7 +11,12 @@
 //! `replica-placement` label: the read-mostly immutable scenario at 2/4/8
 //! nodes with the advisor off and on (demand replication off in both), so
 //! the gate can require advisor-driven replication to strictly reduce
-//! remote invokes.
+//! remote invokes. And likewise the `locate-fastpath` label: the
+//! chase-heavy control-plane scenario at 2/4/8 nodes with the locate fast
+//! path off and on, plus a local-invoke sweep with the pre-fast-path
+//! protocol and the fast path paired back to back, so the gate can
+//! require the fast path to strictly cut control messages, halve forward
+//! hops at 4 nodes, and stay within 5% on already-local work.
 //!
 //! Environment switches:
 //!
@@ -32,8 +37,8 @@
 //! retransmission stalls.
 
 use amber_bench::throughput::{
-    run_local_invoke, run_lossy_invoke, run_mixed, run_read_hot_invoke, run_skewed_invoke,
-    write_merged, Point, LOSS_PERCENTS, NODE_COUNTS,
+    run_chase_heavy_invoke, run_local_invoke, run_lossy_invoke, run_mixed, run_read_hot_invoke,
+    run_skewed_invoke, write_merged, Point, LOSS_PERCENTS, NODE_COUNTS,
 };
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -53,10 +58,11 @@ fn row(p: &Point) -> Vec<String> {
         p.forward_hops.to_string(),
         p.thread_migrations.to_string(),
         p.remote_invokes.to_string(),
+        p.control_msgs.to_string(),
     ]
 }
 
-const COLUMNS: [&str; 8] = [
+const COLUMNS: [&str; 9] = [
     "scenario",
     "nodes",
     "ops",
@@ -65,6 +71,7 @@ const COLUMNS: [&str; 8] = [
     "fwd hops",
     "migrations",
     "remote",
+    "ctl msgs",
 ];
 
 fn main() {
@@ -85,8 +92,8 @@ fn main() {
     let mut points = Vec::new();
     let mut apoints = Vec::new();
     for &n in &NODE_COUNTS {
-        points.push(run_local_invoke(n, local_iters, false));
-        apoints.push(run_local_invoke(n, local_iters, true));
+        points.push(run_local_invoke(n, local_iters, false, true));
+        apoints.push(run_local_invoke(n, local_iters, true, true));
         points.push(run_mixed(n, mixed_iters));
     }
     for &loss in &LOSS_PERCENTS {
@@ -123,10 +130,43 @@ fn main() {
         &rpoints.iter().map(row).collect::<Vec<_>>(),
     );
 
+    // The locate-fastpath label: the chase-heavy control-plane scenario
+    // with the fast path (and message coalescing) off and on, plus a
+    // local-invoke sweep with the pre-fast-path protocol and the fast
+    // path measured back to back at each node count. Pairing the two
+    // inside one label keeps both measurements under the same machine
+    // load — a cross-label comparison would price whatever else the host
+    // was doing during the minutes between the sweeps.
+    let mut fpoints = Vec::new();
+    for n in [2usize, 4, 8] {
+        fpoints.push(run_chase_heavy_invoke(n, skew_iters, false));
+        fpoints.push(run_chase_heavy_invoke(n, skew_iters, true));
+    }
+    for &n in &NODE_COUNTS {
+        // Off/on/on/off: measuring each variant at both ends of the window
+        // and keeping its faster run cancels monotone machine drift, which
+        // a fixed order would book entirely against the second variant.
+        let off_a = run_local_invoke(n, local_iters, false, false);
+        let on_a = run_local_invoke(n, local_iters, false, true);
+        let on_b = run_local_invoke(n, local_iters, false, true);
+        let off_b = run_local_invoke(n, local_iters, false, false);
+        let pick = |a: Point, b: Point| if a.elapsed <= b.elapsed { a } else { b };
+        let mut on = pick(on_a, on_b);
+        on.scenario = "local_invoke_fastpath";
+        fpoints.push(pick(off_a, off_b));
+        fpoints.push(on);
+    }
+    amber_bench::print_table(
+        "Locate fast path (RealEngine, kernel = locate-fastpath)",
+        &COLUMNS,
+        &fpoints.iter().map(row).collect::<Vec<_>>(),
+    );
+
     let path = std::path::PathBuf::from(out);
     let wrote = write_merged(&path, &label, &points)
         .and_then(|()| write_merged(&path, "adaptive-placement", &apoints))
-        .and_then(|()| write_merged(&path, "replica-placement", &rpoints));
+        .and_then(|()| write_merged(&path, "replica-placement", &rpoints))
+        .and_then(|()| write_merged(&path, "locate-fastpath", &fpoints));
     match wrote {
         Ok(()) => println!("\nwrote {}", path.display()),
         Err(e) => eprintln!("warning: cannot write {}: {e}", path.display()),

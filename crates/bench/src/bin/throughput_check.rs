@@ -18,7 +18,17 @@
 //!    advisor-driven replication earning its keep: at every measured node
 //!    count the adaptive run took strictly fewer remote invokes than the
 //!    static run, and at 4 nodes the static run took at least 2x the
-//!    adaptive run's remote invokes.
+//!    adaptive run's remote invokes;
+//! 5. the `locate-fastpath` label's chase-heavy scenario shows the locate
+//!    fast path earning its keep: at every measured node count the
+//!    fast-path run sent strictly fewer control messages than the
+//!    pre-fast-path run, and at 4 nodes the pre-fast-path run took at
+//!    least 2x the fast-path run's forward hops;
+//! 6. the `locate-fastpath` label's `local_invoke_fastpath` throughput is
+//!    within 5% of its `local_invoke` sweep, the two measured back to
+//!    back at each node count — the fast path's descriptor pre-checks
+//!    must be nearly free on already-local work (median-of-ratios, as in
+//!    gate 1).
 
 use amber_bench::throughput::{existing_runs, parse_points, ParsedPoint};
 
@@ -27,16 +37,21 @@ fn die(msg: &str) -> ! {
     std::process::exit(1)
 }
 
-/// Median of the adaptive/baseline `local_invoke` throughput ratios, paired
-/// by node count. Returns `None` when no node count appears in both runs.
-fn local_invoke_ratio(adaptive: &[ParsedPoint], baseline: &[ParsedPoint]) -> Option<f64> {
-    let mut ratios: Vec<f64> = adaptive
+/// Median of the numerator/denominator throughput ratios between two
+/// scenarios, paired by node count. Returns `None` when no node count
+/// appears in both point sets.
+fn paired_ratio(
+    num: &[ParsedPoint],
+    num_scenario: &str,
+    den: &[ParsedPoint],
+    den_scenario: &str,
+) -> Option<f64> {
+    let mut ratios: Vec<f64> = num
         .iter()
-        .filter(|a| a.scenario == "local_invoke" && a.ops_per_sec > 0.0)
+        .filter(|a| a.scenario == num_scenario && a.ops_per_sec > 0.0)
         .filter_map(|a| {
-            baseline
-                .iter()
-                .find(|b| b.scenario == "local_invoke" && b.nodes == a.nodes)
+            den.iter()
+                .find(|b| b.scenario == den_scenario && b.nodes == a.nodes)
                 .filter(|b| b.ops_per_sec > 0.0)
                 .map(|b| a.ops_per_sec / b.ops_per_sec)
         })
@@ -74,7 +89,8 @@ fn main() {
     // Gate 1: advisor overhead on the pure-local workload.
     match points_of("reliable-net") {
         Some(baseline) => {
-            let Some(ratio) = local_invoke_ratio(&adaptive, &baseline) else {
+            let Some(ratio) = paired_ratio(&adaptive, "local_invoke", &baseline, "local_invoke")
+            else {
                 die("no paired local_invoke points between adaptive-placement and reliable-net");
             };
             if ratio < 0.9 {
@@ -165,5 +181,71 @@ fn main() {
     if compared == 0 {
         die("replica-placement run has no read_hot_invoke points");
     }
+
+    // Gate 5: the locate fast path must strictly cut control messages at
+    // every node count and at least halve forward hops at 4 nodes on the
+    // chase-heavy scenario.
+    let Some(fastpath) = points_of("locate-fastpath") else {
+        die(&format!("{path} has no locate-fastpath run"));
+    };
+    let mut compared = 0;
+    for p in &fastpath {
+        if p.scenario != "chase_heavy_invoke" {
+            continue;
+        }
+        let Some(f) = fastpath
+            .iter()
+            .find(|f| f.scenario == "chase_heavy_invoke_fastpath" && f.nodes == p.nodes)
+        else {
+            die(&format!(
+                "no fast-path chase_heavy run at {} nodes",
+                p.nodes
+            ));
+        };
+        compared += 1;
+        if f.control_msgs >= p.control_msgs {
+            die(&format!(
+                "at {} nodes fast-path control_msgs {} not below static {}",
+                p.nodes, f.control_msgs, p.control_msgs
+            ));
+        }
+        if p.nodes == 4 && p.forward_hops < 2 * f.forward_hops {
+            die(&format!(
+                "at 4 nodes static forward_hops {} is under 2x fast-path {}",
+                p.forward_hops, f.forward_hops
+            ));
+        }
+        println!(
+            "throughput_check: chase_heavy {} nodes: static msgs {} hops {}, \
+             fast-path msgs {} hops {} (ok)",
+            p.nodes, p.control_msgs, p.forward_hops, f.control_msgs, f.forward_hops
+        );
+    }
+    if compared == 0 {
+        die("locate-fastpath run has no chase_heavy_invoke points");
+    }
+
+    // Gate 6: the fast path's descriptor pre-checks on already-local work.
+    // The locate-fastpath label measures the pre-fast-path protocol and
+    // the fast path back to back at each node count, so both sides of
+    // each ratio share the same machine load.
+    let Some(ratio) = paired_ratio(
+        &fastpath,
+        "local_invoke_fastpath",
+        &fastpath,
+        "local_invoke",
+    ) else {
+        die("locate-fastpath run has no paired local_invoke points");
+    };
+    if ratio < 0.95 {
+        die(&format!(
+            "fast-path local_invoke regresses >5% vs the pre-fast-path protocol \
+             (median throughput ratio {ratio:.3})"
+        ));
+    }
+    println!(
+        "throughput_check: local_invoke median throughput ratio {ratio:.3} vs \
+         pre-fast-path protocol (ok)"
+    );
     println!("throughput_check: PASS");
 }

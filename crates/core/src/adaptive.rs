@@ -98,6 +98,15 @@ pub trait PlacementPolicy: Send {
     /// every object that saw traffic since the last round, in ascending
     /// address order (deterministic input for deterministic policies).
     fn decide(&mut self, nodes: usize, samples: &[PlacementSample]) -> Vec<PlacementDecision>;
+
+    /// Consecutive placement ticks a replica may go without serving a
+    /// single local call before the daemon ages it out (the holder's
+    /// descriptor flips back to a one-hop forward, freeing replica-cap
+    /// budget for warmer readers). `None` disables eviction. The default
+    /// keeps replicas for 8 quiet ticks.
+    fn replica_idle_evict_after(&self) -> Option<u32> {
+        Some(8)
+    }
 }
 
 /// One per-node activity counter on its own cache line, so concurrent
@@ -117,6 +126,10 @@ pub(crate) struct PlacementRuntime {
     /// Invocations started, ever, counted per starting node; the daemon
     /// sums successive readings to detect quiescent ticks.
     pub(crate) activity: Box<[PaddedCounter]>,
+    /// Per-node activity readings at the last tick that actually drained
+    /// the registry. A tick whose readings match skips the full shard walk
+    /// (idle batching — quiescent intervals cost nothing per object).
+    last_drained: Mutex<Vec<u64>>,
     /// The daemon thread, once spawned.
     pub(crate) daemon: OnceLock<ThreadId>,
 }
@@ -132,6 +145,7 @@ impl PlacementRuntime {
             activity: (0..nodes.max(1))
                 .map(|_| PaddedCounter(AtomicU64::new(0)))
                 .collect(),
+            last_drained: Mutex::new(vec![0; nodes.max(1)]),
             daemon: OnceLock::new(),
         }
     }
@@ -265,6 +279,29 @@ impl Kernel {
             .expect("placement tick without placement state");
         let n = self.nodes.len();
 
+        // Idle batching (ROADMAP): compare the per-node activity counters
+        // against the readings at the last real drain. If no node advanced,
+        // the interval was quiescent — skip the full shard walk and the
+        // policy round entirely, so idle ticks cost O(nodes), not
+        // O(objects). (The daemon's sum check catches full quiescence; this
+        // per-node check also absorbs wake-ups that raced a disarm.)
+        {
+            let mut last = p.last_drained.lock();
+            let current: Vec<u64> = p
+                .activity
+                .iter()
+                .map(|c| c.0.load(Ordering::Relaxed))
+                .collect();
+            if *last == current {
+                return;
+            }
+            *last = current;
+        }
+
+        // Replica aging is policy-configured; read the bound once per tick.
+        let evict_after = p.policy.lock().replica_idle_evict_after();
+        let mut evictions: Vec<(VAddr, NodeId)> = Vec::new();
+
         // Drain this tick's per-object counters shard by shard (relaxed
         // swaps; an invocation racing the drain lands in the next tick) and
         // copy the attachment shape needed to fold groups onto their roots.
@@ -273,6 +310,34 @@ impl Kernel {
             let mut calls = vec![0u64; n];
             for (slot, c) in e.calls.iter().enumerate() {
                 calls[slot] = c.swap(0, Ordering::Relaxed);
+            }
+            // Cold-replica aging: bump the idle stamp of every replica
+            // holder that drained zero calls this tick, reset stamps that
+            // saw traffic, and queue holders whose stamp reached the bound.
+            // Descriptor read locks nest under the shard lock per the
+            // documented order; the eviction itself runs after the walk,
+            // outside all registry locks, and re-validates.
+            if let Some(bound) = evict_after {
+                if e.immutable && !e.moving && !e.replica_idle.is_empty() {
+                    for (slot, stamp) in e.replica_idle.iter().enumerate() {
+                        let node = NodeId(slot as u16);
+                        if node == e.location || calls[slot] > 0 {
+                            stamp.store(0, Ordering::Relaxed);
+                            continue;
+                        }
+                        let holds = matches!(
+                            self.nodes[slot].descriptors.read().lookup(addr),
+                            Some(amber_vspace::Residency::Replica)
+                        );
+                        if !holds {
+                            stamp.store(0, Ordering::Relaxed);
+                            continue;
+                        }
+                        if stamp.fetch_add(1, Ordering::Relaxed) + 1 >= bound {
+                            evictions.push((addr, node));
+                        }
+                    }
+                }
             }
             observed.insert(
                 addr,
@@ -284,6 +349,9 @@ impl Kernel {
                 },
             );
         });
+        for (addr, node) in evictions {
+            self.evict_replica(addr, node);
+        }
 
         // Groups move as one, so score whole groups: each object's traffic
         // is credited to its attachment root. The snapshot was taken one

@@ -65,8 +65,10 @@ pub struct ClusterBuilder {
     engine: EngineChoice,
     deadline: Option<Duration>,
     faults: Option<amber_engine::FaultPlan>,
+    coalesce: Option<amber_engine::CoalesceConfig>,
     adaptive: Option<PolicyFactory>,
     demand_replication: bool,
+    locate_fastpath: bool,
 }
 
 impl std::fmt::Debug for ClusterBuilder {
@@ -80,8 +82,10 @@ impl std::fmt::Debug for ClusterBuilder {
             .field("engine", &self.engine)
             .field("deadline", &self.deadline)
             .field("faults", &self.faults)
+            .field("coalesce", &self.coalesce)
             .field("adaptive", &self.adaptive.is_some())
             .field("demand_replication", &self.demand_replication)
+            .field("locate_fastpath", &self.locate_fastpath)
             .finish()
     }
 }
@@ -97,8 +101,10 @@ impl Default for ClusterBuilder {
             engine: EngineChoice::Sim,
             deadline: None,
             faults: None,
+            coalesce: None,
             adaptive: None,
             demand_replication: true,
+            locate_fastpath: true,
         }
     }
 }
@@ -156,6 +162,18 @@ impl ClusterBuilder {
         self
     }
 
+    /// Enables per-link coalescing of small kernel messages: control
+    /// packets at or below the config's eligibility threshold are buffered
+    /// per directed link and ride the next packet to the same destination
+    /// (a larger message, a full batch, or a flush deadline). Off by
+    /// default. Delivery order per link is preserved; each absorbed
+    /// message is counted in `NetStats` and traced as
+    /// `ProtocolEvent::MessageCoalesced`.
+    pub fn coalescing(mut self, cfg: amber_engine::CoalesceConfig) -> Self {
+        self.coalesce = Some(cfg);
+        self
+    }
+
     /// Enables the adaptive placement engine: per-object, per-caller-node
     /// invocation counters feed a periodic advisor tick that issues
     /// rate-limited advisory group moves toward each object's dominant
@@ -183,6 +201,18 @@ impl ClusterBuilder {
         self
     }
 
+    /// Whether the locate fast path is enabled (default `true`): replica-first
+    /// resolution from the local descriptor table, and LOCUS-style path
+    /// compression when a chase terminates (every descriptor the chase passed
+    /// is rewritten to a one-hop forward). Set `false` to run the pre-fast-path
+    /// protocol — probe the chain from scratch and correct only the chasing
+    /// node's hint — which exists so benchmarks and equivalence tests can
+    /// compare both protocols from one binary.
+    pub fn locate_fastpath(mut self, on: bool) -> Self {
+        self.locate_fastpath = on;
+        self
+    }
+
     /// Builds the cluster.
     pub fn build(self) -> Cluster {
         let mut spec = amber_engine::ClusterSpec::uniform(self.nodes, self.processors)
@@ -190,6 +220,9 @@ impl ClusterBuilder {
             .with_policy(self.policy);
         if let Some(plan) = self.faults {
             spec = spec.with_faults(plan);
+        }
+        if let Some(cfg) = self.coalesce {
+            spec = spec.with_coalescing(cfg);
         }
         let engine: Arc<dyn Engine> = match self.engine {
             EngineChoice::Sim => Arc::new(SimEngine::new(spec)),
@@ -207,6 +240,7 @@ impl ClusterBuilder {
             self.cost,
             policy,
             self.demand_replication,
+            self.locate_fastpath,
         );
         Cluster { kernel }
     }
@@ -358,6 +392,33 @@ impl Ctx {
         &self.kernel
     }
 
+    /// Runs a fallible protocol operation, retrying
+    /// [`ProtocolError::ChaseDiverged`] with exponential backoff up to
+    /// three attempts total. A diverged chase is corruption insurance
+    /// tripping on a *transient* descriptor tangle more often than a real
+    /// one (a burst of moves rewriting hints mid-walk); a short sleep lets
+    /// the in-flight descriptor writes land, and the next attempt walks the
+    /// repaired chain. Other errors (a destroyed object is permanent) pass
+    /// through on the first occurrence.
+    fn with_chase_retry<R>(
+        &self,
+        mut f: impl FnMut() -> Result<R, ProtocolError>,
+    ) -> Result<R, ProtocolError> {
+        const ATTEMPTS: u32 = 3;
+        let mut backoff = SimTime::from_us(200);
+        for attempt in 1..=ATTEMPTS {
+            match f() {
+                Err(ProtocolError::ChaseDiverged { .. }) if attempt < ATTEMPTS => {
+                    self.kernel.engine.sleep(backoff);
+                    self.kernel.recheck_residency();
+                    backoff = backoff * 2;
+                }
+                other => return other,
+            }
+        }
+        unreachable!("the final attempt returns from the loop")
+    }
+
     /// The engine-level id of the calling thread.
     pub fn thread_id(&self) -> ThreadId {
         must_current_thread()
@@ -456,6 +517,37 @@ impl Ctx {
         self.kernel.invoke_shared_carrying(self, obj, carry, op)
     }
 
+    /// Fallible [`invoke`](Ctx::invoke): returns
+    /// [`ProtocolError::ObjectDestroyed`] for a dangling reference and
+    /// [`ProtocolError::ChaseDiverged`] when the forwarding chase exceeds
+    /// its hop bound — after three backoff retries — instead of halting the
+    /// thread. Mirrors [`try_locate`](Ctx::try_locate): long-lived servers
+    /// holding references of uncertain liveness observe the error and keep
+    /// running. An `Err` guarantees `op` never ran.
+    pub fn try_invoke<T: AmberObject, R>(
+        &self,
+        obj: &ObjRef<T>,
+        mut op: impl FnMut(&Ctx, &mut T) -> R,
+    ) -> Result<R, ProtocolError> {
+        self.with_chase_retry(|| {
+            self.kernel
+                .try_invoke_exclusive_carrying(self, obj, 0, |ctx, t| op(ctx, t))
+        })
+    }
+
+    /// Fallible [`invoke_shared`](Ctx::invoke_shared); see
+    /// [`try_invoke`](Ctx::try_invoke) for the error contract.
+    pub fn try_invoke_shared<T: AmberObject, R>(
+        &self,
+        obj: &ObjRef<T>,
+        mut op: impl FnMut(&Ctx, &T) -> R,
+    ) -> Result<R, ProtocolError> {
+        self.with_chase_retry(|| {
+            self.kernel
+                .try_invoke_shared_carrying(self, obj, 0, |ctx, t| op(ctx, t))
+        })
+    }
+
     /// Destroys an idle object, returning its heap block for reuse.
     pub fn destroy<T: AmberObject>(&self, obj: ObjRef<T>) {
         self.kernel.destroy(obj.addr());
@@ -474,19 +566,21 @@ impl Ctx {
     ///
     /// On a protocol error (destroyed object, diverged chase) the calling
     /// thread halts under the error's name; use
-    /// [`try_locate`](Ctx::try_locate) to observe the error instead.
+    /// [`try_locate`](Ctx::try_locate) to observe the error instead. A
+    /// diverged chase is retried with backoff (three attempts) before the
+    /// thread halts.
     pub fn locate<T: AmberObject>(&self, obj: &ObjRef<T>) -> NodeId {
-        self.kernel
-            .locate(obj.addr())
+        self.with_chase_retry(|| self.kernel.locate(obj.addr()))
             .unwrap_or_else(|e| self.kernel.halt(e))
     }
 
     /// Fallible [`locate`](Ctx::locate): returns
     /// [`ProtocolError::ObjectDestroyed`] for a destroyed or unknown
     /// address and [`ProtocolError::ChaseDiverged`] when the forwarding
-    /// chase exceeds its hop bound, instead of halting the thread.
+    /// chase exceeds its hop bound — after three backoff retries — instead
+    /// of halting the thread.
     pub fn try_locate<T: AmberObject>(&self, obj: &ObjRef<T>) -> Result<NodeId, ProtocolError> {
-        self.kernel.locate(obj.addr())
+        self.with_chase_retry(|| self.kernel.locate(obj.addr()))
     }
 
     /// Pins the object against the adaptive placement advisor: advisories

@@ -94,6 +94,33 @@ impl Kernel {
         Ok(e.immutable)
     }
 
+    /// Unwinds a frame bound by [`bind_frame`](Kernel::bind_frame) when the
+    /// residency protocol fails *before* the payload was acquired: the
+    /// fallible invoke paths surface a typed error with the thread's frame
+    /// stack and the object's bound set exactly as they were.
+    fn unbind_frame(&self, tid: ThreadId, addr: VAddr) {
+        {
+            let mut shard = self.objects.lock(addr);
+            if let Some(e) = shard.get_mut(&addr) {
+                if let Some(depth) = e.bound.get_mut(&tid) {
+                    *depth -= 1;
+                    if *depth == 0 {
+                        e.bound.remove(&tid);
+                    }
+                }
+            }
+        }
+        let popped = self
+            .threads
+            .rec(tid)
+            .expect("frame pop on unregistered thread")
+            .state
+            .lock()
+            .frames
+            .pop();
+        debug_assert_eq!(popped, Some(addr), "frame stack corrupted");
+    }
+
     /// Sets the by-value argument bytes the next outbound migration carries.
     fn set_carry(&self, tid: ThreadId, bytes: usize) {
         if let Some(rec) = self.threads.rec(tid) {
@@ -162,6 +189,18 @@ impl Kernel {
         allow_replica: bool,
     ) -> Result<NodeId, ProtocolError> {
         let me = must_current_thread();
+        // Replica-first fast path for shared invocations: a `Resident` or
+        // `Replica` descriptor on the thread's current node answers with one
+        // read-lock lookup — no registry visit, no moving park, no wire
+        // traffic. Exclusive invocations skip this and chase to the origin:
+        // only a `Resident` entry may serve them, and that case falls out of
+        // the first loop iteration anyway.
+        if allow_replica && self.locate_fastpath {
+            let here = self.engine.node_of(me);
+            if self.nodes[here.index()].descriptors.read().is_local(addr) {
+                return Ok(here);
+            }
+        }
         let mut hops: u32 = 0;
         let mut visited: Vec<NodeId> = Vec::new();
         loop {
@@ -188,6 +227,9 @@ impl Kernel {
                     // nodes along the chain" (section 3.3). One write-lock
                     // visit per *distinct* chain node: a chase that loops
                     // through a node twice must not lock its table twice.
+                    // Each rewrite that actually changes a descriptor is a
+                    // path-compression repair, counted and traced so the
+                    // fast-path bookkeeping reconciles exactly.
                     let mut chain = Vec::with_capacity(visited.len());
                     for n in &visited {
                         if *n != here && !chain.contains(n) {
@@ -195,10 +237,28 @@ impl Kernel {
                         }
                     }
                     for n in chain {
-                        self.nodes[n.index()]
-                            .descriptors
-                            .write()
-                            .cache_hint(addr, here);
+                        if self.locate_fastpath {
+                            let repaired = self.nodes[n.index()]
+                                .descriptors
+                                .write()
+                                .compress_hint(addr, here);
+                            if repaired {
+                                ProtocolStats::bump(&self.pstats.hint_repairs);
+                                self.trace(|| amber_engine::ProtocolEvent::HintRepair {
+                                    obj: addr.0,
+                                    at: n,
+                                    to: here,
+                                });
+                            }
+                        } else {
+                            // Pre-fast-path bookkeeping: the same rewrites,
+                            // but uncounted (hint_repairs is a fast-path
+                            // metric).
+                            self.nodes[n.index()]
+                                .descriptors
+                                .write()
+                                .cache_hint(addr, here);
+                        }
                     }
                     return Ok(here);
                 }
@@ -412,13 +472,28 @@ impl Kernel {
         carry: usize,
         op: impl FnOnce(&crate::cluster::Ctx, &mut T) -> R,
     ) -> R {
+        self.try_invoke_exclusive_carrying(ctx, obj, carry, op)
+            .unwrap_or_else(|e| self.halt(e))
+    }
+
+    /// Fallible exclusive invocation: a dangling reference or a diverged
+    /// forwarding chase returns a [`ProtocolError`] — with the invocation
+    /// frame fully unwound and the thread shipped back to its enclosing
+    /// object — instead of halting the thread. Errors can only arise
+    /// *before* the payload is acquired, so `op` has not run when one is
+    /// returned.
+    pub(crate) fn try_invoke_exclusive_carrying<T: 'static, R>(
+        &self,
+        ctx: &crate::cluster::Ctx,
+        obj: &ObjRef<T>,
+        carry: usize,
+        op: impl FnOnce(&crate::cluster::Ctx, &mut T) -> R,
+    ) -> Result<R, ProtocolError> {
         let me = must_current_thread();
         let addr = obj.addr();
         let start_node = self.engine.node_of(me);
         // Frame first, then the residency check (section 3.5 ordering).
-        let immutable = self
-            .bind_frame(me, addr, start_node)
-            .unwrap_or_else(|e| self.halt(e));
+        let immutable = self.bind_frame(me, addr, start_node)?;
         assert!(
             !immutable,
             "exclusive invocation of immutable object {addr}"
@@ -427,9 +502,17 @@ impl Kernel {
         if carry > 0 {
             self.set_carry(me, carry);
         }
-        let at = self
-            .ensure_at_object(addr, false)
-            .unwrap_or_else(|e| self.halt(e));
+        let at = match self.ensure_at_object(addr, false) {
+            Ok(at) => at,
+            Err(e) => {
+                if carry > 0 {
+                    self.set_carry(me, 0);
+                }
+                self.unbind_frame(me, addr);
+                self.return_to_enclosing();
+                return Err(e);
+            }
+        };
         if carry > 0 {
             self.set_carry(me, 0);
         }
@@ -459,7 +542,7 @@ impl Kernel {
         self.finish_invocation(me, addr, Access::Exclusive);
         self.engine.work(self.cost.local_return);
         self.return_to_enclosing();
-        result
+        Ok(result)
     }
 
     /// Shared invocation: `op` receives `&T`; concurrent with other shared
@@ -483,13 +566,26 @@ impl Kernel {
         carry: usize,
         op: impl FnOnce(&crate::cluster::Ctx, &T) -> R,
     ) -> R {
+        self.try_invoke_shared_carrying(ctx, obj, carry, op)
+            .unwrap_or_else(|e| self.halt(e))
+    }
+
+    /// Fallible shared invocation; the `&T` counterpart of
+    /// [`try_invoke_exclusive_carrying`](Kernel::try_invoke_exclusive_carrying),
+    /// with the same guarantee: an error means `op` never ran and the frame
+    /// is fully unwound.
+    pub(crate) fn try_invoke_shared_carrying<T: 'static, R>(
+        &self,
+        ctx: &crate::cluster::Ctx,
+        obj: &ObjRef<T>,
+        carry: usize,
+        op: impl FnOnce(&crate::cluster::Ctx, &T) -> R,
+    ) -> Result<R, ProtocolError> {
         let me = must_current_thread();
         let addr = obj.addr();
         let start_node = self.engine.node_of(me);
         // Frame push and the immutability read share one shard visit.
-        let immutable = self
-            .bind_frame(me, addr, start_node)
-            .unwrap_or_else(|e| self.halt(e));
+        let immutable = self.bind_frame(me, addr, start_node)?;
         self.note_invocation_activity(start_node);
         if carry > 0 {
             self.set_carry(me, carry);
@@ -499,12 +595,21 @@ impl Kernel {
         // replication off, copies install only where the placement advisor
         // puts them: a read away from a replica migrates the thread like any
         // other remote invocation.
-        let at = if immutable && self.demand_replication {
-            self.replicate_here(addr).unwrap_or_else(|e| self.halt(e));
-            start_node
+        let resolved = if immutable && self.demand_replication {
+            self.replicate_here(addr).map(|_| start_node)
         } else {
             self.ensure_at_object(addr, true)
-                .unwrap_or_else(|e| self.halt(e))
+        };
+        let at = match resolved {
+            Ok(at) => at,
+            Err(e) => {
+                if carry > 0 {
+                    self.set_carry(me, 0);
+                }
+                self.unbind_frame(me, addr);
+                self.return_to_enclosing();
+                return Err(e);
+            }
         };
         if carry > 0 {
             self.set_carry(me, 0);
@@ -535,7 +640,7 @@ impl Kernel {
         self.finish_invocation(me, addr, Access::Shared);
         self.engine.work(self.cost.local_return);
         self.return_to_enclosing();
-        result
+        Ok(result)
     }
 
     /// Return-time residency check: after popping a frame, if the enclosing

@@ -26,7 +26,7 @@
 
 use std::any::Any;
 use std::collections::{HashMap, VecDeque};
-use std::sync::atomic::AtomicU64;
+use std::sync::atomic::{AtomicU32, AtomicU64};
 use std::sync::Arc;
 
 use amber_engine::{must_current_thread, CostModel, Engine, NodeId, SimTime, ThreadId};
@@ -97,6 +97,13 @@ pub(crate) struct ObjectEntry {
     /// shard lock the invoke path already holds, so the fast path takes no
     /// extra lock; empty when adaptive placement is disabled.
     pub(crate) calls: Box<[AtomicU64]>,
+    /// Replica LRU tick-stamps for cold-replica eviction: slot `n` counts
+    /// consecutive placement ticks in which node `n` held a replica of this
+    /// object but drained zero calls. Reset on install and on any traffic;
+    /// when a stamp reaches the policy's idle bound the placement daemon
+    /// ages the replica out. Same slot count as `calls` (empty when
+    /// adaptive placement is disabled).
+    pub(crate) replica_idle: Box<[AtomicU32]>,
     /// Pinned by the user: the placement advisor never moves this object
     /// (explicit `MoveTo` still does).
     pub(crate) pinned: bool,
@@ -127,6 +134,7 @@ impl ObjectEntry {
             moving: false,
             move_waiters: Vec::new(),
             calls: (0..call_slots).map(|_| AtomicU64::new(0)).collect(),
+            replica_idle: (0..call_slots).map(|_| AtomicU32::new(0)).collect(),
             pinned: false,
         }
     }
@@ -170,6 +178,14 @@ pub struct Kernel {
     /// an explicit `MoveTo`) puts them, and other remote reads migrate the
     /// thread.
     pub(crate) demand_replication: bool,
+    /// When `true` (the default), `locate` answers replica-first from the
+    /// local descriptor table and a terminating chase compresses every
+    /// descriptor it passed to a one-hop forward. When `false` the
+    /// pre-fast-path protocol applies: locate probes the chain from scratch
+    /// and only the chasing node's own hint is corrected. Kept as a switch
+    /// so the `chase_heavy_invoke` benchmark and the equivalence tests can
+    /// run both protocols from one binary.
+    pub(crate) locate_fastpath: bool,
 }
 
 impl Kernel {
@@ -180,6 +196,7 @@ impl Kernel {
         cost: CostModel,
         policy: Option<Box<dyn PlacementPolicy>>,
         demand_replication: bool,
+        locate_fastpath: bool,
     ) -> Arc<Kernel> {
         let n = engine.nodes();
         let mut server = AddressSpaceServer::new();
@@ -210,6 +227,7 @@ impl Kernel {
             pstats: ProtocolStats::default(),
             placement: policy.map(|p| PlacementRuntime::new(p, n)),
             demand_replication,
+            locate_fastpath,
         })
     }
 

@@ -65,8 +65,8 @@ pub use thread::{JoinHandle, ThreadObj};
 
 // Commonly useful re-exports so applications depend on one crate.
 pub use amber_engine::{
-    trace, CostModel, EngineError, FaultPlan, LatencyModel, LinkFaults, MemorySink, NodeId,
-    Partition, PolicyKind, ProtocolEvent, SimTime, ThreadId, TraceRecord, TraceSink,
+    trace, CoalesceConfig, CostModel, EngineError, FaultPlan, LatencyModel, LinkFaults, MemorySink,
+    NodeId, Partition, PolicyKind, ProtocolEvent, SimTime, ThreadId, TraceRecord, TraceSink,
 };
 pub use amber_vspace::VAddr;
 

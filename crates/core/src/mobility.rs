@@ -417,6 +417,12 @@ impl Kernel {
             .descriptors
             .write()
             .set_replica(addr);
+        // A fresh replica starts warm: reset its eviction tick-stamp.
+        if let Some(e) = self.objects.lock(addr).get(&addr) {
+            if let Some(stamp) = e.replica_idle.get(node.index()) {
+                stamp.store(0, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
         ProtocolStats::bump(&self.pstats.replications);
         self.trace(|| amber_engine::ProtocolEvent::Replication {
             obj: addr.0,
@@ -471,6 +477,48 @@ impl Kernel {
             inflight.insert(addr, Vec::new());
         }
         self.replicate_install(addr, dest).map_err(|_| "destroyed")
+    }
+
+    /// Ages out a cold replica: flips `node`'s descriptor for immutable
+    /// object `addr` from `Replica` back to a one-hop forward at the
+    /// object's current residence, so the `replica_cap` budget frees up for
+    /// warmer readers. Called by the placement daemon when the replica
+    /// served no calls for the policy's idle bound. Best-effort like every
+    /// advisory: returns `false` without touching anything if the object is
+    /// gone, mid-move, mid-install, co-resident, or no longer a replica.
+    pub(crate) fn evict_replica(&self, addr: VAddr, node: NodeId) -> bool {
+        let location = {
+            let shard = self.objects.lock(addr);
+            let Some(e) = shard.get(&addr) else {
+                return false;
+            };
+            if e.moving || !e.immutable || e.location == node {
+                return false;
+            }
+            e.location
+        };
+        if self.nodes[node.index()]
+            .replicating
+            .lock()
+            .contains_key(&addr)
+        {
+            return false;
+        }
+        {
+            let mut d = self.nodes[node.index()].descriptors.write();
+            if !matches!(d.lookup(addr), Some(Residency::Replica)) {
+                return false;
+            }
+            d.set_forward(addr, location);
+        }
+        if let Some(e) = self.objects.lock(addr).get(&addr) {
+            if let Some(stamp) = e.replica_idle.get(node.index()) {
+                stamp.store(0, std::sync::atomic::Ordering::Relaxed);
+            }
+        }
+        ProtocolStats::bump(&self.pstats.replica_evictions);
+        self.trace(|| amber_engine::ProtocolEvent::ReplicaEvicted { obj: addr.0, node });
+        true
     }
 
     /// Marks the object immutable: it will never again be modified, so
@@ -644,6 +692,14 @@ impl Kernel {
     /// Returns a typed error for destroyed objects and chases that exceed
     /// the hop bound.
     ///
+    /// Resolution is replica-first: a `Resident` or `Replica` descriptor on
+    /// the caller's own node answers immediately — no registry visit, no
+    /// probe on the wire. When a chase does run, the reply piggybacks the
+    /// resolved location and every node the chase passed through rewrites
+    /// its descriptor to a one-hop forward (LOCUS-style path compression),
+    /// so the chain shortens for everyone behind this chase, not just the
+    /// chasing node.
+    ///
     /// A locate that lands mid-move parks on the object's `move_waiters`
     /// (like [`ensure_at_object`](Kernel::ensure_at_object)) instead of
     /// reading descriptors mid-transfer: probing during the move could cache
@@ -651,8 +707,12 @@ impl Kernel {
     pub(crate) fn locate(&self, addr: VAddr) -> Result<NodeId, ProtocolError> {
         let me = must_current_thread();
         let origin = self.current_node();
+        if self.locate_fastpath && self.nodes[origin.index()].descriptors.read().is_local(addr) {
+            return Ok(origin);
+        }
         let mut cur = origin;
         let mut hops = 0u32;
+        let mut chain: Vec<NodeId> = Vec::new();
         loop {
             // Park while a move of this object is in flight; woken by the
             // mover once the group has installed at the destination.
@@ -720,14 +780,43 @@ impl Kernel {
                 return Err(ProtocolError::ChaseDiverged { addr, hops });
             }
             self.one_way(cur, next, self.cost.control_packet_bytes, "locate-probe");
+            if !chain.contains(&cur) {
+                chain.push(cur);
+            }
             cur = next;
         }
         if cur != origin {
+            // One reply message carries the resolved location back. With the
+            // fast path on, every distinct node the chase passed through (the
+            // origin included) compresses its descriptor to a one-hop forward
+            // as the answer passes — the rewrites ride the reply, no extra
+            // packets. With it off, only the chasing node learns the answer
+            // (the pre-fast-path protocol).
             self.one_way(cur, origin, self.cost.control_packet_bytes, "locate-reply");
-            self.nodes[origin.index()]
-                .descriptors
-                .write()
-                .cache_hint(addr, cur);
+            if self.locate_fastpath {
+                for n in chain {
+                    if n == cur {
+                        continue;
+                    }
+                    let repaired = self.nodes[n.index()]
+                        .descriptors
+                        .write()
+                        .compress_hint(addr, cur);
+                    if repaired {
+                        ProtocolStats::bump(&self.pstats.hint_repairs);
+                        self.trace(|| amber_engine::ProtocolEvent::HintRepair {
+                            obj: addr.0,
+                            at: n,
+                            to: cur,
+                        });
+                    }
+                }
+            } else {
+                self.nodes[origin.index()]
+                    .descriptors
+                    .write()
+                    .cache_hint(addr, cur);
+            }
         }
         Ok(cur)
     }

@@ -306,6 +306,7 @@ mod tests {
                     moving: false,
                     move_waiters: Vec::new(),
                     calls: Box::new([]),
+                    replica_idle: Box::new([]),
                     pinned: false,
                 },
             );

@@ -50,6 +50,12 @@ pub struct ProtocolStats {
     pub advisory_skips: AtomicU64,
     /// Forwarding chases that exceeded the hop bound and gave up.
     pub chase_divergences: AtomicU64,
+    /// Stale descriptors rewritten to one-hop forwards when a chase
+    /// resolved (path compression along the reply path).
+    pub hint_repairs: AtomicU64,
+    /// Advisor-installed replicas aged out after going unread for the
+    /// configured number of placement ticks.
+    pub replica_evictions: AtomicU64,
 }
 
 /// Plain-data snapshot of [`ProtocolStats`].
@@ -73,6 +79,8 @@ pub struct ProtocolSnapshot {
     pub advisory_replications: u64,
     pub advisory_skips: u64,
     pub chase_divergences: u64,
+    pub hint_repairs: u64,
+    pub replica_evictions: u64,
 }
 
 impl ProtocolStats {
@@ -101,6 +109,8 @@ impl ProtocolStats {
             advisory_replications: self.advisory_replications.load(Ordering::Relaxed),
             advisory_skips: self.advisory_skips.load(Ordering::Relaxed),
             chase_divergences: self.chase_divergences.load(Ordering::Relaxed),
+            hint_repairs: self.hint_repairs.load(Ordering::Relaxed),
+            replica_evictions: self.replica_evictions.load(Ordering::Relaxed),
         }
     }
 }
@@ -137,6 +147,9 @@ pub struct TraceSummary {
     pub duplicates_suppressed: u64,
     /// Attempts lost to scripted partitions.
     pub partition_drops: u64,
+    /// Small messages absorbed by per-link coalescing buffers (each later
+    /// rides a batch packet counted under `messages`).
+    pub coalesced: u64,
 }
 
 impl TraceSummary {
@@ -174,6 +187,9 @@ impl TraceSummary {
                 E::AdvisoryReplicate { .. } => s.snapshot.advisory_replications += 1,
                 E::AdvisorySkipped { .. } => s.snapshot.advisory_skips += 1,
                 E::ChaseDiverged { .. } => s.snapshot.chase_divergences += 1,
+                E::HintRepair { .. } => s.snapshot.hint_repairs += 1,
+                E::ReplicaEvicted { .. } => s.snapshot.replica_evictions += 1,
+                E::MessageCoalesced { .. } => s.coalesced += 1,
             }
         }
         s

@@ -535,7 +535,9 @@ fn diverging_chase_gives_up_with_an_error() {
     // Corrupt two descriptor tables into a forwarding cycle that never
     // reaches the object's true node: the chase must give up at the hop
     // bound with a typed error and a ChaseDiverged trace event, not abort
-    // the process the way the old assert did.
+    // the process the way the old assert did. The `Ctx` layer retries a
+    // diverged chase with backoff (three attempts); the cycle here is
+    // permanent, so every attempt diverges before the error surfaces.
     let c = sim(3, 1);
     let sink = c.enable_tracing();
     c.run(|ctx| {
@@ -560,7 +562,7 @@ fn diverging_chase_gives_up_with_an_error() {
     })
     .unwrap();
     let p = c.protocol_stats();
-    assert_eq!(p.chase_divergences, 1);
+    assert_eq!(p.chase_divergences, 3, "one divergence per retry attempt");
     let events = sink.take();
     assert!(
         events.iter().any(|r| r.event.name() == "chase_diverged"),
@@ -1259,11 +1261,16 @@ mod adaptive {
         tick: SimTime,
         min_calls: u64,
         propose_mutable: bool,
+        evict_after: Option<u32>,
     }
 
     impl PlacementPolicy for ReplicatePolicy {
         fn tick_interval(&self) -> SimTime {
             self.tick
+        }
+
+        fn replica_idle_evict_after(&self) -> Option<u32> {
+            self.evict_after
         }
 
         fn decide(&mut self, _nodes: usize, samples: &[PlacementSample]) -> Vec<PlacementDecision> {
@@ -1300,6 +1307,7 @@ mod adaptive {
                 tick: SimTime::from_ms(30),
                 min_calls: 3,
                 propose_mutable,
+                evict_after: Some(8),
             })
             .build()
     }
@@ -1350,6 +1358,61 @@ mod adaptive {
         let summary = crate::TraceSummary::from_events(&events);
         assert_eq!(summary.snapshot, p);
         assert_eq!(summary.messages, c.net_stats().total_msgs());
+    }
+
+    #[test]
+    fn cold_replicas_age_out_and_reads_still_see_the_object() {
+        // End-to-end eviction: a burst of reads earns node 1 a replica,
+        // the reader goes quiet for longer than the idle bound while other
+        // traffic keeps the placement ticks firing, and the daemon flips
+        // the cold replica back to a one-hop forward. A later reader must
+        // still see the value through the restored forward.
+        let c = Cluster::builder()
+            .nodes(2)
+            .processors(2)
+            .demand_replication(false)
+            .adaptive_placement(|| ReplicatePolicy {
+                tick: SimTime::from_ms(10),
+                // One read per window earns the replica: at a 10 ms tick a
+                // migrating remote read spans most of a window, so a higher
+                // bar would never be met inside a single drain.
+                min_calls: 1,
+                propose_mutable: false,
+                evict_after: Some(2),
+            })
+            .build();
+        let sink = c.enable_tracing();
+        c.run(|ctx| {
+            let hot = ctx.create(5u64);
+            ctx.set_immutable(&hot);
+            let warm = ctx.create(0u64);
+            let anchor = ctx.create_on(NodeId(1), 0u8);
+            let h = ctx.start(&anchor, move |ctx, _| {
+                for _ in 0..20 {
+                    assert_eq!(ctx.invoke_shared(&hot, |_, v| *v), 5);
+                }
+            });
+            h.join(ctx);
+            // The replica on node 1 now idles. Ticks are activity-armed,
+            // so keep unrelated traffic flowing while the idle bound
+            // elapses; the replica's own counters stay at zero.
+            for _ in 0..8 {
+                ctx.invoke(&warm, |_, v| *v += 1);
+                ctx.sleep(SimTime::from_ms(10));
+            }
+            let h = ctx.start(&anchor, move |ctx, _| {
+                assert_eq!(ctx.invoke_shared(&hot, |_, v| *v), 5);
+            });
+            h.join(ctx);
+        })
+        .unwrap();
+        let p = c.protocol_stats();
+        assert!(p.advisory_replications >= 1, "never replicated: {p:?}");
+        assert!(p.replica_evictions >= 1, "cold replica survived: {p:?}");
+        let events = sink.take();
+        assert!(events.iter().any(|r| r.event.name() == "replica_evicted"));
+        let summary = crate::TraceSummary::from_events(&events);
+        assert_eq!(summary.snapshot, p);
     }
 
     #[test]
@@ -1492,4 +1555,219 @@ fn null_sink_records_nothing_and_stops_cleanly() {
         sink.is_empty(),
         "events recorded after tracing was disabled"
     );
+}
+
+// ---------------------------------------------------------------------------
+// Locate fast path: chase compression, coalescing, protocol equivalence
+// ---------------------------------------------------------------------------
+
+mod fastpath {
+    use super::*;
+    use crate::{CoalesceConfig, FaultPlan, ProtocolError, TraceSummary};
+
+    /// Sim cluster with the fast path and message coalescing toggled
+    /// together, the way the bench pairs them.
+    fn fast_sim(nodes: usize, fastpath: bool) -> Cluster {
+        let mut b = Cluster::builder()
+            .nodes(nodes)
+            .processors(2)
+            .locate_fastpath(fastpath);
+        if fastpath {
+            b = b.coalescing(CoalesceConfig::default());
+        }
+        b.build()
+    }
+
+    #[test]
+    fn chase_compression_reconciles_counters_exactly() {
+        // Build a four-link forwarding chain, walk it once, and check the
+        // acceptance identity: hint repairs and coalesced-message counts
+        // recomputed from the trace alone must equal the live counters.
+        let c = fast_sim(4, true);
+        let sink = c.enable_tracing();
+        c.run(|ctx| {
+            let rover = ctx.create_on(NodeId(0), 0u64);
+            for k in [1, 2, 3] {
+                ctx.move_to(&rover, NodeId(k));
+            }
+            // Main still sits on node 0, whose descriptor is one move
+            // stale; the locate walks the chain and the reply path
+            // rewrites every stale descriptor to a one-hop forward.
+            assert_eq!(ctx.locate(&rover), NodeId(3));
+            assert_eq!(ctx.locate(&rover), NodeId(3));
+        })
+        .unwrap();
+        let p = c.protocol_stats();
+        let net = c.net_stats();
+        assert!(p.hint_repairs > 0, "no descriptor was repaired: {p:?}");
+        assert!(net.total_coalesced() > 0, "no message was coalesced");
+        let events = sink.take();
+        let summary = TraceSummary::from_events(&events);
+        assert_eq!(summary.snapshot, p);
+        assert_eq!(summary.coalesced, net.total_coalesced());
+        assert_eq!(summary.messages, net.total_msgs());
+        assert_eq!(summary.message_bytes, net.total_bytes());
+    }
+
+    #[test]
+    fn real_engine_coalescing_reconciles_counters() {
+        // Same identity on the threaded engine, where flush timers race
+        // real senders: two workers hammer one link so the aggregator both
+        // merges and deadline-flushes, and every absorbed message must
+        // appear exactly once in the trace and in NetStats.
+        let c = Cluster::builder()
+            .nodes(2)
+            .processors(2)
+            .engine(EngineChoice::Real)
+            .latency(LatencyModel::zero())
+            .locate_fastpath(true)
+            .coalescing(CoalesceConfig::default())
+            .build();
+        let sink = c.enable_tracing();
+        c.run(|ctx| {
+            let far: Vec<_> = (0..8).map(|_| ctx.create_on(NodeId(1), 0u64)).collect();
+            let anchors = [ctx.create(0u8), ctx.create(0u8)];
+            let hs = [0usize, 1].map(|i| {
+                let objs = far.clone();
+                ctx.start(&anchors[i], move |ctx, _| {
+                    for o in &objs {
+                        assert_eq!(ctx.locate(o), NodeId(1));
+                    }
+                })
+            });
+            for h in hs {
+                h.join(ctx);
+            }
+        })
+        .unwrap();
+        let net = c.net_stats();
+        assert!(net.total_coalesced() > 0, "no message was coalesced");
+        let events = sink.take();
+        let summary = TraceSummary::from_events(&events);
+        assert_eq!(summary.snapshot, c.protocol_stats());
+        assert_eq!(summary.coalesced, net.total_coalesced());
+        assert_eq!(summary.messages, net.total_msgs());
+    }
+
+    #[test]
+    fn hint_repairs_shorten_chains_monotonically() {
+        // A rival attachment group sweeps across the cluster, leaving a
+        // full-length forwarding chain behind it. Repeated locates from
+        // the trailing node must get monotonically cheaper: the first
+        // walk pays every link, the compressed descriptors answer the
+        // rest in at most one hop.
+        let c = fast_sim(6, true);
+        c.run(|ctx| {
+            let head = ctx.create_on(NodeId(0), 0u64);
+            let tail = ctx.create_on(NodeId(0), 0u32);
+            ctx.attach(&tail, &head);
+            for k in 1..6 {
+                ctx.move_to(&head, NodeId(k));
+            }
+            let mut hops = Vec::new();
+            for _ in 0..3 {
+                let before = ctx.protocol_stats().forward_hops;
+                assert_eq!(ctx.locate(&head), NodeId(5));
+                hops.push(ctx.protocol_stats().forward_hops - before);
+            }
+            assert_eq!(hops[0], 5, "first locate must walk the whole chain");
+            assert!(
+                hops.windows(2).all(|w| w[1] <= w[0]),
+                "chain length grew between locates: {hops:?}"
+            );
+            assert!(hops[2] <= 1, "compression left a long chain: {hops:?}");
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn try_invoke_surfaces_destroyed_without_running_op() {
+        let c = sim(2, 1);
+        c.run(|ctx| {
+            let v = ctx.create_on(NodeId(1), 3u64);
+            assert_eq!(ctx.try_invoke(&v, |_, n| *n).unwrap(), 3);
+            assert_eq!(ctx.try_invoke_shared(&v, |_, n| *n).unwrap(), 3);
+            let dangling = v; // ObjRef is Copy: keep a stale reference
+            ctx.destroy(v);
+            let mut ran = false;
+            let err = ctx.try_invoke(&dangling, |_, _| ran = true).unwrap_err();
+            assert!(matches!(err, ProtocolError::ObjectDestroyed(_)), "{err}");
+            let err = ctx
+                .try_invoke_shared(&dangling, |_, _| ran = true)
+                .unwrap_err();
+            assert!(matches!(err, ProtocolError::ObjectDestroyed(_)), "{err}");
+            assert!(!ran, "op ran against a destroyed object");
+        })
+        .unwrap();
+    }
+
+    /// Runs one placement-heavy program and returns every observable value
+    /// it produced, reconciling the trace against the live counters on the
+    /// way out. The protocol toggle must never change the values.
+    fn observable_run(fastpath: bool, moves: &[usize], reads: usize, seed: u64) -> Vec<u64> {
+        let mut b = Cluster::builder()
+            .nodes(4)
+            .processors(2)
+            .locate_fastpath(fastpath)
+            .faults(FaultPlan::seeded(seed).drop_rate(0.05));
+        if fastpath {
+            b = b.coalescing(CoalesceConfig::default());
+        }
+        let c = b.build();
+        let sink = c.enable_tracing();
+        let moves = moves.to_vec();
+        let out = c
+            .run(move |ctx| {
+                let rover = ctx.create_on(NodeId(0), 0u64);
+                let counter = ctx.create_on(NodeId(1), 0u64);
+                let mut out = Vec::new();
+                for (i, &m) in moves.iter().enumerate() {
+                    ctx.move_to(&rover, NodeId::from(m));
+                    if i % 2 == 0 {
+                        out.push(ctx.locate(&rover).index() as u64);
+                    }
+                    out.push(
+                        ctx.try_invoke(&counter, |_, v| {
+                            *v += 1;
+                            *v
+                        })
+                        .unwrap(),
+                    );
+                }
+                for _ in 0..reads {
+                    out.push(ctx.invoke(&rover, |_, v| {
+                        *v += 1;
+                        *v
+                    }));
+                }
+                out
+            })
+            .unwrap();
+        let events = sink.take();
+        let summary = TraceSummary::from_events(&events);
+        let net = c.net_stats();
+        assert_eq!(summary.snapshot, c.protocol_stats());
+        assert_eq!(summary.messages, net.total_msgs());
+        assert_eq!(summary.coalesced, net.total_coalesced());
+        out
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(24))]
+
+        /// Byte-identical results with the fast path off and on, over a
+        /// lossy network: path compression, replica-first resolution, and
+        /// message coalescing are pure transport optimizations, invisible
+        /// to the program. Each run also reconciles its trace exactly.
+        #[test]
+        fn fastpath_on_off_agree_under_loss(
+            moves in proptest::collection::vec(0usize..4, 1..10),
+            reads in 0usize..4,
+            seed in 0u64..1 << 48,
+        ) {
+            let slow = observable_run(false, &moves, reads, seed);
+            let fast = observable_run(true, &moves, reads, seed);
+            prop_assert_eq!(slow, fast);
+        }
+    }
 }

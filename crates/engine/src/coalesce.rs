@@ -1,0 +1,294 @@
+//! Per-link small-message coalescing under [`Engine::send`].
+//!
+//! Kernel control traffic — locate replies, acks, hint repairs, placement
+//! drains — is dominated by tiny packets that each pay full per-message
+//! overhead: a `NetStats` record, a trace emission, a reliability-sublayer
+//! sequence number and retransmit timer when a fault plan is installed, and
+//! a delivery wakeup. The [`Coalescer`] amortizes that cost: messages at or
+//! below an eligibility threshold are buffered per directed link and ride
+//! the next packet to the same destination — either a larger message that
+//! was going there anyway (piggybacking), the buffer filling to its batch
+//! limit, or a flush deadline measured from the first message queued.
+//!
+//! The engine still delivers every handler exactly where and in the order
+//! it would have: a batch packet is one ordinary engine message whose
+//! handler runs the queued handlers in enqueue order. Coalescing is off by
+//! default and enabled per cluster via
+//! [`ClusterSpec::with_coalescing`](crate::ClusterSpec::with_coalescing);
+//! each absorbed message is counted (`NetStats::record_coalesced`) and
+//! traced (`ProtocolEvent::MessageCoalesced`) so runs reconcile exactly.
+//!
+//! [`Engine::send`]: crate::Engine::send
+
+use std::collections::HashMap;
+
+use parking_lot::Mutex;
+
+use crate::engine::KernelFn;
+use crate::ids::NodeId;
+use crate::time::SimTime;
+
+/// Tuning knobs for kernel-message coalescing.
+#[derive(Clone, Copy, Debug)]
+pub struct CoalesceConfig {
+    /// Messages with payload at or below this many bytes are eligible for
+    /// coalescing; larger messages send immediately (carrying any buffered
+    /// small messages for the same link with them).
+    pub max_msg_bytes: usize,
+    /// Flush a link's buffer as soon as its queued payload reaches this.
+    pub max_batch_bytes: usize,
+    /// Flush deadline, measured from the first message queued into an
+    /// empty link buffer. Bounds the extra latency a lone small message
+    /// can pay.
+    pub flush_after: SimTime,
+}
+
+impl Default for CoalesceConfig {
+    fn default() -> Self {
+        // Control packets are 64 bytes and thread/bulk packets are 1 KiB+
+        // under the default cost model, so 128 bytes catches exactly the
+        // small-control class.
+        CoalesceConfig {
+            max_msg_bytes: 128,
+            max_batch_bytes: 1024,
+            flush_after: SimTime::from_us(50),
+        }
+    }
+}
+
+/// A drained link buffer, ready to travel as one engine message.
+pub struct Batch {
+    /// Total queued payload bytes.
+    pub bytes: usize,
+    handlers: Vec<KernelFn>,
+}
+
+impl Batch {
+    /// Converts the batch into a single delivery handler that runs every
+    /// queued handler in enqueue order.
+    pub fn into_handler(self) -> KernelFn {
+        let handlers = self.handlers;
+        Box::new(move || {
+            for h in handlers {
+                h();
+            }
+        })
+    }
+}
+
+/// What the engine should do with one offered message.
+pub enum Offer {
+    /// Send now, as one packet of `bytes` payload running `handler` at the
+    /// destination. Produced for ineligible (large) messages; any buffered
+    /// small messages for the link have been merged in (their bytes summed,
+    /// their handlers prepended).
+    Direct {
+        /// Combined payload bytes to put on the wire.
+        bytes: usize,
+        /// Combined delivery handler.
+        handler: KernelFn,
+    },
+    /// Queued into the link buffer; nothing travels yet.
+    Queued {
+        /// `true` when this message opened an empty buffer: the caller
+        /// must arm a flush timer for (`link`, `epoch`).
+        arm: bool,
+        /// The buffer generation to pass back to
+        /// [`Coalescer::take_due`] when the timer fires.
+        epoch: u64,
+    },
+    /// The batch limit tripped: send this batch now as one packet.
+    Flush(Batch),
+}
+
+struct LinkBuf {
+    bytes: usize,
+    handlers: Vec<KernelFn>,
+    /// Bumped on every drain, so a flush timer armed for an earlier
+    /// generation finds nothing to do.
+    epoch: u64,
+}
+
+/// Per-directed-link small-message aggregator. See the module docs.
+pub struct Coalescer {
+    cfg: CoalesceConfig,
+    links: Mutex<HashMap<(NodeId, NodeId), LinkBuf>>,
+}
+
+impl Coalescer {
+    /// A coalescer with the given knobs.
+    pub fn new(cfg: CoalesceConfig) -> Coalescer {
+        Coalescer {
+            cfg,
+            links: Mutex::new(HashMap::new()),
+        }
+    }
+
+    /// The configured knobs.
+    pub fn config(&self) -> &CoalesceConfig {
+        &self.cfg
+    }
+
+    /// Offers one outbound message. Never calls back into the engine: the
+    /// caller inspects the returned [`Offer`] and does any sending or
+    /// timer-arming itself, after this method's lock is released.
+    pub fn offer(&self, from: NodeId, to: NodeId, bytes: usize, handler: KernelFn) -> Offer {
+        let mut links = self.links.lock();
+        let buf = links.entry((from, to)).or_insert_with(|| LinkBuf {
+            bytes: 0,
+            handlers: Vec::new(),
+            epoch: 0,
+        });
+        if bytes > self.cfg.max_msg_bytes {
+            // Too big to hold back — but it is a packet to the right
+            // destination, so anything already buffered rides along.
+            if buf.handlers.is_empty() {
+                return Offer::Direct { bytes, handler };
+            }
+            buf.epoch += 1;
+            let carried = buf.bytes;
+            buf.bytes = 0;
+            let mut handlers = std::mem::take(&mut buf.handlers);
+            handlers.push(handler);
+            return Offer::Direct {
+                bytes: bytes + carried,
+                handler: Box::new(move || {
+                    for h in handlers {
+                        h();
+                    }
+                }),
+            };
+        }
+        let arm = buf.handlers.is_empty();
+        buf.bytes += bytes;
+        buf.handlers.push(handler);
+        if buf.bytes >= self.cfg.max_batch_bytes {
+            buf.epoch += 1;
+            let batch = Batch {
+                bytes: buf.bytes,
+                handlers: std::mem::take(&mut buf.handlers),
+            };
+            buf.bytes = 0;
+            return Offer::Flush(batch);
+        }
+        Offer::Queued {
+            arm,
+            epoch: buf.epoch,
+        }
+    }
+
+    /// Called by the flush timer armed for (`from`→`to`, `epoch`). Returns
+    /// the batch to send if the buffer still holds that generation's
+    /// messages; `None` if a size flush or piggyback already drained it.
+    pub fn take_due(&self, from: NodeId, to: NodeId, epoch: u64) -> Option<Batch> {
+        let mut links = self.links.lock();
+        let buf = links.get_mut(&(from, to))?;
+        if buf.epoch != epoch || buf.handlers.is_empty() {
+            return None;
+        }
+        buf.epoch += 1;
+        let batch = Batch {
+            bytes: buf.bytes,
+            handlers: std::mem::take(&mut buf.handlers),
+        };
+        buf.bytes = 0;
+        Some(batch)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+    use std::sync::Arc;
+
+    fn cfg() -> CoalesceConfig {
+        CoalesceConfig {
+            max_msg_bytes: 100,
+            max_batch_bytes: 250,
+            flush_after: SimTime::from_us(10),
+        }
+    }
+
+    fn noop() -> KernelFn {
+        Box::new(|| {})
+    }
+
+    fn counting(n: &Arc<AtomicUsize>) -> KernelFn {
+        let n = Arc::clone(n);
+        Box::new(move || {
+            n.fetch_add(1, Ordering::SeqCst);
+        })
+    }
+
+    #[test]
+    fn large_message_passes_through() {
+        let c = Coalescer::new(cfg());
+        match c.offer(NodeId(0), NodeId(1), 512, noop()) {
+            Offer::Direct { bytes, .. } => assert_eq!(bytes, 512),
+            _ => panic!("large message should send directly"),
+        }
+    }
+
+    #[test]
+    fn small_messages_queue_then_flush_on_size() {
+        let c = Coalescer::new(cfg());
+        let ran = Arc::new(AtomicUsize::new(0));
+        match c.offer(NodeId(0), NodeId(1), 64, counting(&ran)) {
+            Offer::Queued { arm: true, epoch } => assert_eq!(epoch, 0),
+            _ => panic!("first small message should queue and arm"),
+        }
+        match c.offer(NodeId(0), NodeId(1), 64, counting(&ran)) {
+            Offer::Queued { arm: false, .. } => {}
+            _ => panic!("second small message should queue without arming"),
+        }
+        // 64*3 = 192 < 250; 64*4 = 256 >= 250 trips the batch limit.
+        let _ = c.offer(NodeId(0), NodeId(1), 64, counting(&ran));
+        match c.offer(NodeId(0), NodeId(1), 64, counting(&ran)) {
+            Offer::Flush(batch) => {
+                assert_eq!(batch.bytes, 256);
+                batch.into_handler()();
+                assert_eq!(ran.load(Ordering::SeqCst), 4);
+            }
+            _ => panic!("batch limit should flush"),
+        }
+        // Stale timer for epoch 0 finds nothing.
+        assert!(c.take_due(NodeId(0), NodeId(1), 0).is_none());
+    }
+
+    #[test]
+    fn large_message_piggybacks_pending_small_ones() {
+        let c = Coalescer::new(cfg());
+        let ran = Arc::new(AtomicUsize::new(0));
+        let _ = c.offer(NodeId(0), NodeId(1), 64, counting(&ran));
+        let _ = c.offer(NodeId(0), NodeId(1), 32, counting(&ran));
+        match c.offer(NodeId(0), NodeId(1), 1024, counting(&ran)) {
+            Offer::Direct { bytes, handler } => {
+                assert_eq!(bytes, 1024 + 96);
+                handler();
+                assert_eq!(ran.load(Ordering::SeqCst), 3);
+            }
+            _ => panic!("large message should carry the buffer"),
+        }
+        assert!(c.take_due(NodeId(0), NodeId(1), 0).is_none());
+    }
+
+    #[test]
+    fn deadline_drains_current_epoch_only() {
+        let c = Coalescer::new(cfg());
+        let ran = Arc::new(AtomicUsize::new(0));
+        let epoch = match c.offer(NodeId(0), NodeId(1), 64, counting(&ran)) {
+            Offer::Queued { epoch, .. } => epoch,
+            _ => panic!("should queue"),
+        };
+        let batch = c.take_due(NodeId(0), NodeId(1), epoch).expect("due");
+        assert_eq!(batch.bytes, 64);
+        batch.into_handler()();
+        assert_eq!(ran.load(Ordering::SeqCst), 1);
+        // A second fire of the same timer is a no-op.
+        assert!(c.take_due(NodeId(0), NodeId(1), epoch).is_none());
+        // Links are independent.
+        let _ = c.offer(NodeId(1), NodeId(0), 64, noop());
+        assert!(c.take_due(NodeId(0), NodeId(1), epoch + 1).is_none());
+    }
+}

@@ -36,6 +36,7 @@
 
 #![warn(missing_docs)]
 
+mod coalesce;
 mod cost;
 mod engine;
 mod fault;
@@ -48,6 +49,7 @@ pub mod policy;
 pub mod stats;
 pub mod trace;
 
+pub use coalesce::CoalesceConfig;
 pub use cost::{CostModel, LatencyModel};
 pub use engine::{
     current_thread, must_current_thread, ClusterSpec, Engine, EngineError, EngineExt, EngineKind,

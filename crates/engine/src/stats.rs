@@ -32,6 +32,9 @@ pub struct NodeCounters {
     pub dups_suppressed: AtomicU64,
     /// Transmission attempts from this node lost to a scripted partition.
     pub partition_drops: AtomicU64,
+    /// Small messages from this node queued into a coalescing buffer
+    /// instead of paying their own wire send.
+    pub coalesced: AtomicU64,
 }
 
 /// A plain-data snapshot of one node's counters.
@@ -57,6 +60,8 @@ pub struct NodeSnapshot {
     pub dups_suppressed: u64,
     /// Transmission attempts lost to a scripted partition.
     pub partition_drops: u64,
+    /// Small messages queued into a coalescing buffer.
+    pub coalesced: u64,
 }
 
 /// Shared, lock-free statistics for a whole cluster.
@@ -126,6 +131,12 @@ impl NetStats {
             .fetch_add(1, Ordering::Relaxed);
     }
 
+    /// Records one small message from `node` absorbed by a coalescing
+    /// buffer rather than sent on its own.
+    pub fn record_coalesced(&self, node: usize) {
+        self.nodes[node].coalesced.fetch_add(1, Ordering::Relaxed);
+    }
+
     /// Number of nodes covered.
     pub fn node_count(&self) -> usize {
         self.nodes.len()
@@ -145,6 +156,7 @@ impl NetStats {
             dups_injected: n.dups_injected.load(Ordering::Relaxed),
             dups_suppressed: n.dups_suppressed.load(Ordering::Relaxed),
             partition_drops: n.partition_drops.load(Ordering::Relaxed),
+            coalesced: n.coalesced.load(Ordering::Relaxed),
         }
     }
 
@@ -209,6 +221,14 @@ impl NetStats {
         self.nodes
             .iter()
             .map(|n| n.partition_drops.load(Ordering::Relaxed))
+            .sum()
+    }
+
+    /// Total messages absorbed by coalescing buffers cluster-wide.
+    pub fn total_coalesced(&self) -> u64 {
+        self.nodes
+            .iter()
+            .map(|n| n.coalesced.load(Ordering::Relaxed))
             .sum()
     }
 }

@@ -214,6 +214,35 @@ pub enum ProtocolEvent {
         /// Hops followed before giving up.
         hops: u32,
     },
+    /// A stale descriptor rewritten to a one-hop forward after a chase
+    /// resolved (LOCUS-style path compression along the reply path).
+    HintRepair {
+        /// Address whose descriptor was repaired.
+        obj: u64,
+        /// Node whose descriptor was rewritten.
+        at: NodeId,
+        /// Resolved location the descriptor now forwards to.
+        to: NodeId,
+    },
+    /// An advisor-installed replica aged out after going unread for the
+    /// configured number of placement ticks.
+    ReplicaEvicted {
+        /// Address whose replica was dropped.
+        obj: u64,
+        /// Node the cold replica was evicted from.
+        node: NodeId,
+    },
+    /// A small kernel message queued into a per-link coalescing buffer
+    /// instead of being sent immediately (it rides a later batch packet,
+    /// which shows up as an ordinary `MessageSend`).
+    MessageCoalesced {
+        /// Sending node.
+        from: NodeId,
+        /// Receiving node.
+        to: NodeId,
+        /// Payload bytes queued.
+        bytes: usize,
+    },
 }
 
 impl ProtocolEvent {
@@ -242,6 +271,9 @@ impl ProtocolEvent {
             ProtocolEvent::AdvisoryReplicate { .. } => "advisory_replicate",
             ProtocolEvent::AdvisorySkipped { .. } => "advisory_skipped",
             ProtocolEvent::ChaseDiverged { .. } => "chase_diverged",
+            ProtocolEvent::HintRepair { .. } => "hint_repair",
+            ProtocolEvent::ReplicaEvicted { .. } => "replica_evicted",
+            ProtocolEvent::MessageCoalesced { .. } => "message_coalesced",
         }
     }
 
@@ -253,6 +285,7 @@ impl ProtocolEvent {
             | ProtocolEvent::RegionLookup { node }
             | ProtocolEvent::ObjectCreate { node, .. }
             | ProtocolEvent::ObjectDestroy { node, .. }
+            | ProtocolEvent::ReplicaEvicted { node, .. }
             | ProtocolEvent::ThreadStart { node, .. } => node,
             ProtocolEvent::RemoteInvoke { to, .. }
             | ProtocolEvent::ObjectMove { to, .. }
@@ -261,13 +294,15 @@ impl ProtocolEvent {
             ProtocolEvent::ForwardHop { at, .. }
             | ProtocolEvent::HomeRoute { at, .. }
             | ProtocolEvent::AdvisorySkipped { at, .. }
-            | ProtocolEvent::ChaseDiverged { at, .. } => at,
+            | ProtocolEvent::ChaseDiverged { at, .. }
+            | ProtocolEvent::HintRepair { at, .. } => at,
             ProtocolEvent::AdvisoryMove { to, .. }
             | ProtocolEvent::AdvisoryReplicate { to, .. } => to,
             ProtocolEvent::Join { .. } => NodeId(0),
             ProtocolEvent::MessageSend { from, .. }
             | ProtocolEvent::MessageDropped { from, .. }
             | ProtocolEvent::MessageRetransmit { from, .. }
+            | ProtocolEvent::MessageCoalesced { from, .. }
             | ProtocolEvent::LinkPartitioned { from, .. } => from,
             ProtocolEvent::MessageDuplicateSuppressed { to, .. } => to,
         }
@@ -442,7 +477,7 @@ fn push_args(out: &mut String, event: &ProtocolEvent) {
                 to.index()
             );
         }
-        ProtocolEvent::ForwardHop { obj, at, to } => {
+        ProtocolEvent::ForwardHop { obj, at, to } | ProtocolEvent::HintRepair { obj, at, to } => {
             let _ = write!(
                 out,
                 "\"obj\":{obj},\"at\":{},\"to\":{}",
@@ -474,7 +509,9 @@ fn push_args(out: &mut String, event: &ProtocolEvent) {
         ProtocolEvent::RegionExtension { node } | ProtocolEvent::RegionLookup { node } => {
             let _ = write!(out, "\"node\":{}", node.index());
         }
-        ProtocolEvent::ObjectCreate { obj, node } | ProtocolEvent::ObjectDestroy { obj, node } => {
+        ProtocolEvent::ObjectCreate { obj, node }
+        | ProtocolEvent::ObjectDestroy { obj, node }
+        | ProtocolEvent::ReplicaEvicted { obj, node } => {
             let _ = write!(out, "\"obj\":{obj},\"node\":{}", node.index());
         }
         ProtocolEvent::ThreadStart { thread, node } => {
@@ -484,7 +521,8 @@ fn push_args(out: &mut String, event: &ProtocolEvent) {
             let _ = write!(out, "\"thread\":{}", thread.0);
         }
         ProtocolEvent::MessageSend { from, to, bytes }
-        | ProtocolEvent::MessageDropped { from, to, bytes } => {
+        | ProtocolEvent::MessageDropped { from, to, bytes }
+        | ProtocolEvent::MessageCoalesced { from, to, bytes } => {
             let _ = write!(
                 out,
                 "\"from\":{},\"to\":{},\"bytes\":{bytes}",

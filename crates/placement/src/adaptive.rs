@@ -51,6 +51,10 @@ pub struct AdaptiveConfig {
     /// counting the origin). Once reached, no further replicas are
     /// proposed for that object.
     pub replica_cap: usize,
+    /// Consecutive quiet placement ticks after which a replica that served
+    /// no local calls is aged out, freeing the cap for warmer readers.
+    /// `None` keeps replicas until the object is destroyed.
+    pub replica_idle_ticks: Option<u32>,
 }
 
 impl Default for AdaptiveConfig {
@@ -63,6 +67,7 @@ impl Default for AdaptiveConfig {
             max_moves_per_tick: 8,
             max_replicas_per_tick: 4,
             replica_cap: 4,
+            replica_idle_ticks: Some(8),
         }
     }
 }
@@ -94,6 +99,10 @@ impl TrafficAdvisor {
 impl PlacementPolicy for TrafficAdvisor {
     fn tick_interval(&self) -> SimTime {
         self.cfg.tick
+    }
+
+    fn replica_idle_evict_after(&self) -> Option<u32> {
+        self.cfg.replica_idle_ticks
     }
 
     fn decide(&mut self, _nodes: usize, samples: &[PlacementSample]) -> Vec<PlacementDecision> {
@@ -231,6 +240,7 @@ mod tests {
             max_moves_per_tick: 2,
             max_replicas_per_tick: 2,
             replica_cap: 2,
+            replica_idle_ticks: Some(8),
         }
     }
 

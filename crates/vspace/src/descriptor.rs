@@ -89,6 +89,21 @@ impl DescriptorTable {
         }
     }
 
+    /// Path-compression write: like [`cache_hint`](DescriptorTable::cache_hint)
+    /// but reports whether the descriptor actually changed, so callers can
+    /// count repairs exactly. A `Resident`/`Replica` entry is never
+    /// downgraded and an entry already forwarding to `to` is left alone.
+    pub fn compress_hint(&mut self, addr: VAddr, to: NodeId) -> bool {
+        match self.entries.get(&addr) {
+            Some(Residency::Resident) | Some(Residency::Replica) => false,
+            Some(Residency::Forward(cur)) if *cur == to => false,
+            _ => {
+                self.entries.insert(addr, Residency::Forward(to));
+                true
+            }
+        }
+    }
+
     /// Removes the entry entirely (object destroyed and block reused).
     pub fn clear(&mut self, addr: VAddr) {
         self.entries.remove(&addr);
@@ -170,6 +185,27 @@ mod tests {
         t.set_forward(VAddr(200), NodeId(1));
         t.set_replica(VAddr(400));
         assert_eq!(t.residents(), vec![VAddr(100), VAddr(300)]);
+    }
+
+    #[test]
+    fn compress_hint_reports_actual_rewrites() {
+        let mut t = DescriptorTable::new();
+        let a = VAddr(512);
+        // Uninitialized -> installs a hint.
+        assert!(t.compress_hint(a, NodeId(2)));
+        assert_eq!(t.lookup(a), Some(Residency::Forward(NodeId(2))));
+        // Same target -> no-op.
+        assert!(!t.compress_hint(a, NodeId(2)));
+        // Fresher target -> rewrite.
+        assert!(t.compress_hint(a, NodeId(4)));
+        assert_eq!(t.lookup(a), Some(Residency::Forward(NodeId(4))));
+        // Never downgrades residency.
+        t.set_resident(a);
+        assert!(!t.compress_hint(a, NodeId(1)));
+        assert_eq!(t.lookup(a), Some(Residency::Resident));
+        t.set_replica(a);
+        assert!(!t.compress_hint(a, NodeId(1)));
+        assert_eq!(t.lookup(a), Some(Residency::Replica));
     }
 
     #[test]
