@@ -13,7 +13,10 @@
 //! the gate can require advisor-driven replication to strictly reduce
 //! remote invokes. And likewise the `locate-fastpath` label: the
 //! chase-heavy control-plane scenario at 2/4/8 nodes with the locate fast
-//! path off and on, plus a local-invoke sweep with the pre-fast-path
+//! path off and on, and the `scatter-rebalance` label: the hot-spawner
+//! occupancy scenario at 2/4/8 nodes with the scatter knob off and on, so
+//! the gate can require scatter to strictly lower the crowded node's
+//! resident share without slowing the local hot path. Plus plus a local-invoke sweep with the pre-fast-path
 //! protocol and the fast path paired back to back, so the gate can
 //! require the fast path to strictly cut control messages, halve forward
 //! hops at 4 nodes, and stay within 5% on already-local work.
@@ -37,8 +40,8 @@
 //! retransmission stalls.
 
 use amber_bench::throughput::{
-    run_chase_heavy_invoke, run_local_invoke, run_lossy_invoke, run_mixed, run_read_hot_invoke,
-    run_skewed_invoke, write_merged, Point, LOSS_PERCENTS, NODE_COUNTS,
+    run_chase_heavy_invoke, run_hot_spawner_invoke, run_local_invoke, run_lossy_invoke, run_mixed,
+    run_read_hot_invoke, run_skewed_invoke, write_merged, Point, LOSS_PERCENTS, NODE_COUNTS,
 };
 
 fn env_u64(name: &str, default: u64) -> u64 {
@@ -59,10 +62,11 @@ fn row(p: &Point) -> Vec<String> {
         p.thread_migrations.to_string(),
         p.remote_invokes.to_string(),
         p.control_msgs.to_string(),
+        format!("{:.3}", p.max_resident_share),
     ]
 }
 
-const COLUMNS: [&str; 9] = [
+const COLUMNS: [&str; 10] = [
     "scenario",
     "nodes",
     "ops",
@@ -72,6 +76,7 @@ const COLUMNS: [&str; 9] = [
     "migrations",
     "remote",
     "ctl msgs",
+    "max share",
 ];
 
 fn main() {
@@ -130,6 +135,21 @@ fn main() {
         &rpoints.iter().map(row).collect::<Vec<_>>(),
     );
 
+    // The scatter-rebalance label: the hot-spawner occupancy scenario with
+    // the scatter knob off and on, paired back to back per node count, plus
+    // the matching local-invoke sweep so the gate can bound what the
+    // scatter machinery costs on already-local work.
+    let mut spoints = Vec::new();
+    for n in [2usize, 4, 8] {
+        spoints.push(run_hot_spawner_invoke(n, skew_iters, false));
+        spoints.push(run_hot_spawner_invoke(n, skew_iters, true));
+    }
+    amber_bench::print_table(
+        "Scatter rebalance (RealEngine, kernel = scatter-rebalance)",
+        &COLUMNS,
+        &spoints.iter().map(row).collect::<Vec<_>>(),
+    );
+
     // The locate-fastpath label: the chase-heavy control-plane scenario
     // with the fast path (and message coalescing) off and on, plus a
     // local-invoke sweep with the pre-fast-path protocol and the fast
@@ -166,6 +186,7 @@ fn main() {
     let wrote = write_merged(&path, &label, &points)
         .and_then(|()| write_merged(&path, "adaptive-placement", &apoints))
         .and_then(|()| write_merged(&path, "replica-placement", &rpoints))
+        .and_then(|()| write_merged(&path, "scatter-rebalance", &spoints))
         .and_then(|()| write_merged(&path, "locate-fastpath", &fpoints));
     match wrote {
         Ok(()) => println!("\nwrote {}", path.display()),

@@ -28,7 +28,14 @@
 //!    within 5% of its `local_invoke` sweep, the two measured back to
 //!    back at each node count — the fast path's descriptor pre-checks
 //!    must be nearly free on already-local work (median-of-ratios, as in
-//!    gate 1).
+//!    gate 1);
+//! 7. the `scatter-rebalance` label's hot-spawner scenario shows the
+//!    scatter rebalancer earning its keep: at 4 and 8 nodes the
+//!    scatter-on run ends with a strictly lower max-node resident share
+//!    than the scatter-off run, and the scatter-on run's timed-phase
+//!    throughput stays within 10% of the scatter-off run's
+//!    (median-of-ratios over every measured node count) — spreading cold
+//!    objects must not slow the local hot path.
 
 use amber_bench::throughput::{existing_runs, parse_points, ParsedPoint};
 
@@ -246,6 +253,64 @@ fn main() {
     println!(
         "throughput_check: local_invoke median throughput ratio {ratio:.3} vs \
          pre-fast-path protocol (ok)"
+    );
+
+    // Gate 7: scatter rebalancing must spread the hot spawner's backlog
+    // (strictly lower max-node resident share at 4 and 8 nodes) without
+    // slowing the timed local-invoke phase by more than 10%.
+    let Some(scatter) = points_of("scatter-rebalance") else {
+        die(&format!("{path} has no scatter-rebalance run"));
+    };
+    let mut compared = 0;
+    for p in &scatter {
+        if p.scenario != "hot_spawner_invoke" {
+            continue;
+        }
+        let Some(s) = scatter
+            .iter()
+            .find(|s| s.scenario == "hot_spawner_invoke_scatter" && s.nodes == p.nodes)
+        else {
+            die(&format!(
+                "no scatter-on hot_spawner run at {} nodes",
+                p.nodes
+            ));
+        };
+        if p.nodes >= 4 {
+            compared += 1;
+            if s.max_resident_share >= p.max_resident_share {
+                die(&format!(
+                    "at {} nodes scatter-on max_resident_share {:.4} not below \
+                     scatter-off {:.4}",
+                    p.nodes, s.max_resident_share, p.max_resident_share
+                ));
+            }
+        }
+        println!(
+            "throughput_check: hot_spawner {} nodes: max share {:.3} piled, {:.3} \
+             scattered (ok)",
+            p.nodes, p.max_resident_share, s.max_resident_share
+        );
+    }
+    if compared == 0 {
+        die("scatter-rebalance run has no hot_spawner_invoke points at 4+ nodes");
+    }
+    let Some(ratio) = paired_ratio(
+        &scatter,
+        "hot_spawner_invoke_scatter",
+        &scatter,
+        "hot_spawner_invoke",
+    ) else {
+        die("scatter-rebalance run has no paired hot_spawner points");
+    };
+    if ratio < 0.9 {
+        die(&format!(
+            "scatter-on hot_spawner regresses >10% vs scatter-off \
+             (median throughput ratio {ratio:.3})"
+        ));
+    }
+    println!(
+        "throughput_check: hot_spawner median throughput ratio {ratio:.3} vs \
+         scatter-off (ok)"
     );
     println!("throughput_check: PASS");
 }

@@ -62,6 +62,10 @@ pub struct Point {
     /// Kernel control messages (network sends) during the operation phase
     /// (0 for scenarios that do not measure control-plane traffic).
     pub control_msgs: u64,
+    /// Largest per-node share of resident objects at the end of the run
+    /// (0.0 for scenarios that do not measure occupancy). 1.0 means one
+    /// node holds everything; `1/nodes` is perfect balance.
+    pub max_resident_share: f64,
 }
 
 impl Point {
@@ -87,6 +91,29 @@ pub const LOSS_PERCENTS: [u32; 3] = [0, 1, 5];
 /// decision thresholds within its wall-clock budget.
 fn bench_advisor() -> TrafficAdvisor {
     TrafficAdvisor::new(AdaptiveConfig {
+        tick: SimTime::from_ms(1),
+        min_calls: 8,
+        hysteresis: 2.0,
+        cooldown_ticks: 4,
+        max_moves_per_tick: 16,
+        max_replicas_per_tick: 16,
+        replica_cap: 8,
+        replica_idle_ticks: Some(8),
+        ..AdaptiveConfig::default()
+    })
+}
+
+/// The advisor for the hot-spawner runs: same fast cadence as
+/// [`bench_advisor`], plus an aggressive scatter half (a low trigger share
+/// and a per-tick budget sized to drain the spawner's backlog within a few
+/// ticks even at smoke-scale iteration counts). Both the scatter-on and
+/// scatter-off runs use this policy; only the cluster's mechanism knob
+/// differs, so the comparison prices the mechanism, not the advisor.
+fn scatter_advisor() -> TrafficAdvisor {
+    TrafficAdvisor::new(AdaptiveConfig {
+        scatter_share: 0.3,
+        scatter_cold_credit: 1.0,
+        max_scatters_per_tick: 16,
         tick: SimTime::from_ms(1),
         min_calls: 8,
         hysteresis: 2.0,
@@ -178,6 +205,7 @@ pub fn run_local_invoke(nodes: usize, iters: u64, adaptive: bool, fastpath: bool
         thread_migrations: 0,
         remote_invokes: 0,
         control_msgs: 0,
+        max_resident_share: 0.0,
     }
 }
 
@@ -241,6 +269,7 @@ pub fn run_skewed_invoke(nodes: usize, iters: u64, adaptive: bool) -> Point {
         thread_migrations,
         remote_invokes: 0,
         control_msgs: 0,
+        max_resident_share: 0.0,
     }
 }
 
@@ -321,6 +350,102 @@ pub fn run_read_hot_invoke(nodes: usize, iters: u64, adaptive: bool) -> Point {
         thread_migrations,
         remote_invokes,
         control_msgs: 0,
+        max_resident_share: 0.0,
+    }
+}
+
+/// Hot-spawner occupancy: node 0 creates *all* the program's objects — the
+/// per-node worker counters and a backlog of 16·n cold objects — the way a
+/// coordinator that allocates every task object up front does. Workers
+/// (pinned to their nodes by pinned anchors) then hammer their counters;
+/// the counters are warm, so only the cold backlog is scatter bait. After
+/// the timed phase a fixed settle phase (identical in both variants) keeps
+/// traffic flowing so the placement daemon's ticks stay armed, and the
+/// point records the largest per-node share of resident objects at the
+/// end: with `scatter` off the backlog stays piled on node 0; with it on
+/// the advisor's `Scatter` proposals spread the backlog to the emptier
+/// nodes. Throughput is measured over the timed phase only, so comparing
+/// against `local_invoke` bounds what the scatter machinery costs on the
+/// already-local hot path.
+pub fn run_hot_spawner_invoke(nodes: usize, iters: u64, scatter: bool) -> Point {
+    let cluster = real_builder(nodes, false)
+        .adaptive_placement(scatter_advisor)
+        .scatter(scatter)
+        .build();
+    let (ops, elapsed, share) = cluster
+        .run(move |ctx| {
+            let n = ctx.nodes();
+            // Pinned per-node anchors (pins keep the advisor's hands off
+            // the objects the workers are bound to); everything else —
+            // counters included — is created by this thread on node 0.
+            let anchors: Vec<_> = (0..n)
+                .map(|k| {
+                    let a = ctx.create_on(NodeId::from(k), 0u8);
+                    ctx.pin(&a);
+                    a
+                })
+                .collect();
+            let counters: Vec<_> = (0..n).map(|_| ctx.create(0u64)).collect();
+            let backlog: Vec<_> = (0..16 * n).map(|i| ctx.create(i as u64)).collect();
+            let t0 = Instant::now();
+            let hs: Vec<_> = anchors
+                .iter()
+                .zip(&counters)
+                .map(|(anchor, &counter)| {
+                    ctx.start(anchor, move |ctx, _| {
+                        for _ in 0..iters {
+                            ctx.invoke(&counter, |_, c| *c += 1);
+                        }
+                    })
+                })
+                .collect();
+            for h in hs {
+                h.join(ctx);
+            }
+            let elapsed = t0.elapsed();
+            let total: u64 = counters.iter().map(|c| ctx.invoke(c, |_, c| *c)).sum();
+            assert_eq!(total, iters * n as u64, "lost invocations");
+            // Settle phase, identical for both variants: the daemon's tick
+            // is activity-armed, so keep a trickle of invocations flowing
+            // while the scatter budget drains the backlog. Fixed length —
+            // a variant-dependent early exit would bias the comparison.
+            for _ in 0..40 {
+                for c in &counters {
+                    ctx.invoke(c, |_, v| *v += 1);
+                }
+                ctx.sleep(SimTime::from_ms(2));
+            }
+            let resident = ctx.resident_counts();
+            let total_resident: u64 = resident.iter().sum();
+            let max = resident.iter().copied().max().unwrap_or(0);
+            let share = if total_resident > 0 {
+                max as f64 / total_resident as f64
+            } else {
+                0.0
+            };
+            // The backlog's payloads must survive wherever they landed.
+            for (i, o) in backlog.iter().enumerate() {
+                let v = ctx.invoke(o, |_, v| *v);
+                assert_eq!(v, i as u64, "scatter lost a payload");
+            }
+            (iters * n as u64, elapsed, share)
+        })
+        .expect("hot-spawner bench run failed");
+    Point {
+        scenario: if scatter {
+            "hot_spawner_invoke_scatter"
+        } else {
+            "hot_spawner_invoke"
+        },
+        nodes,
+        workers: nodes,
+        ops,
+        elapsed,
+        forward_hops: 0,
+        thread_migrations: 0,
+        remote_invokes: 0,
+        control_msgs: 0,
+        max_resident_share: share,
     }
 }
 
@@ -386,6 +511,7 @@ pub fn run_mixed(nodes: usize, iters: u64) -> Point {
         thread_migrations: 0,
         remote_invokes: 0,
         control_msgs: 0,
+        max_resident_share: 0.0,
     }
 }
 
@@ -462,6 +588,7 @@ pub fn run_lossy_invoke(nodes: usize, iters: u64, loss_pct: u32) -> Point {
         thread_migrations: 0,
         remote_invokes: 0,
         control_msgs: 0,
+        max_resident_share: 0.0,
     }
 }
 
@@ -623,6 +750,7 @@ pub fn run_chase_heavy_invoke(nodes: usize, iters: u64, fastpath: bool) -> Point
         thread_migrations: 0,
         remote_invokes: 0,
         control_msgs: msgs,
+        max_resident_share: 0.0,
     }
 }
 
@@ -632,7 +760,7 @@ pub fn run_json(points: &[Point]) -> String {
     let mut out = String::from("{\n      \"points\": [\n");
     for (i, p) in points.iter().enumerate() {
         out.push_str(&format!(
-            "        {{\"scenario\":\"{}\",\"nodes\":{},\"workers\":{},\"ops\":{},\"elapsed_ns\":{},\"ops_per_sec\":{:.1},\"forward_hops\":{},\"thread_migrations\":{},\"remote_invokes\":{},\"control_msgs\":{}}}{}\n",
+            "        {{\"scenario\":\"{}\",\"nodes\":{},\"workers\":{},\"ops\":{},\"elapsed_ns\":{},\"ops_per_sec\":{:.1},\"forward_hops\":{},\"thread_migrations\":{},\"remote_invokes\":{},\"control_msgs\":{},\"max_resident_share\":{:.4}}}{}\n",
             p.scenario,
             p.nodes,
             p.workers,
@@ -643,6 +771,7 @@ pub fn run_json(points: &[Point]) -> String {
             p.thread_migrations,
             p.remote_invokes,
             p.control_msgs,
+            p.max_resident_share,
             if i + 1 < points.len() { "," } else { "" },
         ));
     }
@@ -667,6 +796,9 @@ pub struct ParsedPoint {
     pub remote_invokes: u64,
     /// Kernel control messages sent (0 when the file predates the field).
     pub control_msgs: u64,
+    /// Largest per-node resident share (0.0 when the file predates the
+    /// field).
+    pub max_resident_share: f64,
 }
 
 /// Pulls one `"key":value` field out of a single-line point object.
@@ -701,6 +833,9 @@ pub fn parse_points(run_obj: &str) -> Vec<ParsedPoint> {
                 control_msgs: point_field(line, "control_msgs")
                     .and_then(|v| v.parse().ok())
                     .unwrap_or(0),
+                max_resident_share: point_field(line, "max_resident_share")
+                    .and_then(|v| v.parse().ok())
+                    .unwrap_or(0.0),
             })
         })
         .collect()
@@ -803,6 +938,7 @@ mod tests {
             thread_migrations: 3,
             remote_invokes: 5,
             control_msgs: 0,
+            max_resident_share: 0.75,
         }
     }
 
@@ -847,10 +983,12 @@ mod tests {
         assert_eq!(parsed[0].forward_hops, 7);
         assert_eq!(parsed[0].thread_migrations, 3);
         assert_eq!(parsed[0].remote_invokes, 5);
+        assert!((parsed[0].max_resident_share - 0.75).abs() < 1e-9);
         // Points written before the placement fields existed parse as zero.
         let old = parse_points("{\"scenario\":\"mixed\",\"nodes\":1,\"ops_per_sec\":10.0}");
         assert_eq!(old[0].forward_hops, 0);
         assert_eq!(old[0].remote_invokes, 0);
+        assert_eq!(old[0].max_resident_share, 0.0);
     }
 
     #[test]
@@ -905,6 +1043,28 @@ mod tests {
             "coalesced run sent {} messages, static {}",
             fast.control_msgs,
             stat.control_msgs
+        );
+    }
+
+    #[test]
+    fn tiny_hot_spawner_run_measures_occupancy() {
+        let piled = run_hot_spawner_invoke(2, 32, false);
+        assert_eq!(piled.ops, 64);
+        assert_eq!(piled.scenario, "hot_spawner_invoke");
+        // Node 0 created the 32-object backlog plus both counters; only
+        // the two pinned anchors are guaranteed elsewhere.
+        assert!(
+            piled.max_resident_share > 0.5,
+            "share = {}",
+            piled.max_resident_share
+        );
+        let spread = run_hot_spawner_invoke(2, 32, true);
+        assert_eq!(spread.scenario, "hot_spawner_invoke_scatter");
+        assert!(
+            spread.max_resident_share < piled.max_resident_share,
+            "scatter never spread the backlog: {} vs {}",
+            spread.max_resident_share,
+            piled.max_resident_share
         );
     }
 

@@ -69,6 +69,7 @@ pub struct ClusterBuilder {
     adaptive: Option<PolicyFactory>,
     demand_replication: bool,
     locate_fastpath: bool,
+    scatter: bool,
 }
 
 impl std::fmt::Debug for ClusterBuilder {
@@ -86,6 +87,7 @@ impl std::fmt::Debug for ClusterBuilder {
             .field("adaptive", &self.adaptive.is_some())
             .field("demand_replication", &self.demand_replication)
             .field("locate_fastpath", &self.locate_fastpath)
+            .field("scatter", &self.scatter)
             .finish()
     }
 }
@@ -105,6 +107,7 @@ impl Default for ClusterBuilder {
             adaptive: None,
             demand_replication: true,
             locate_fastpath: true,
+            scatter: true,
         }
     }
 }
@@ -213,6 +216,19 @@ impl ClusterBuilder {
         self
     }
 
+    /// Whether the placement daemon executes the policy's
+    /// `PlacementDecision::Scatter` advisories (default `true`). Scatters
+    /// are only ever *proposed* by a policy configured with a nonzero
+    /// scatter budget (the stock `TrafficAdvisor` ships with the budget at
+    /// zero), so this knob matters only alongside such a policy: set
+    /// `false` to decline every scatter at execution time (a
+    /// `"scatter-disabled"` advisory skip), which lets benchmarks and
+    /// equivalence tests compare scatter-on/off runs under one policy.
+    pub fn scatter(mut self, on: bool) -> Self {
+        self.scatter = on;
+        self
+    }
+
     /// Builds the cluster.
     pub fn build(self) -> Cluster {
         let mut spec = amber_engine::ClusterSpec::uniform(self.nodes, self.processors)
@@ -241,6 +257,7 @@ impl ClusterBuilder {
             policy,
             self.demand_replication,
             self.locate_fastpath,
+            self.scatter,
         );
         Cluster { kernel }
     }
@@ -306,6 +323,12 @@ impl Cluster {
     /// Protocol counters from the runtime.
     pub fn protocol_stats(&self) -> ProtocolSnapshot {
         self.kernel.pstats.snapshot()
+    }
+
+    /// Objects currently resident on each node, indexed by node (see
+    /// [`Ctx::resident_counts`] for the staleness contract).
+    pub fn resident_counts(&self) -> Vec<u64> {
+        self.kernel.resident_counts()
     }
 
     // ----- tracing --------------------------------------------------------
@@ -549,8 +572,25 @@ impl Ctx {
     }
 
     /// Destroys an idle object, returning its heap block for reuse.
+    ///
+    /// On a destroy race (already destroyed, or caught busy / mid-move /
+    /// attached) the calling thread halts under the error's name — the sim
+    /// deadlock report names the condition instead of the process aborting.
+    /// Use [`try_destroy`](Ctx::try_destroy) to observe the error instead.
     pub fn destroy<T: AmberObject>(&self, obj: ObjRef<T>) {
-        self.kernel.destroy(obj.addr());
+        self.kernel
+            .destroy(obj.addr())
+            .unwrap_or_else(|e| self.kernel.halt(e))
+    }
+
+    /// Fallible [`destroy`](Ctx::destroy): returns
+    /// [`ProtocolError::ObjectDestroyed`] when the object is already gone
+    /// (double destroy from two nodes is a deterministic `Err` for exactly
+    /// one of them) and [`ProtocolError::ObjectBusy`] when it has
+    /// operations in progress, a move in flight, or an attachment. An
+    /// `Err` guarantees the object was not destroyed by this call.
+    pub fn try_destroy<T: AmberObject>(&self, obj: ObjRef<T>) -> Result<(), ProtocolError> {
+        self.kernel.destroy(obj.addr())
     }
 
     // ----- mobility -----------------------------------------------------
@@ -710,6 +750,16 @@ impl Ctx {
     pub fn net_totals(&self) -> (u64, u64) {
         let s = self.kernel.engine.stats();
         (s.total_msgs(), s.total_bytes())
+    }
+
+    /// Objects currently resident on each node, indexed by node — a
+    /// diagnostic occupancy snapshot (one registry walk; counts are taken
+    /// shard by shard, so a concurrent move can be counted at either end
+    /// but never both). The throughput bench uses it to score how well
+    /// scatter rebalancing spreads a hot spawner's objects. Also available
+    /// off-run as [`Cluster::resident_counts`].
+    pub fn resident_counts(&self) -> Vec<u64> {
+        self.kernel.resident_counts()
     }
 
     // ----- substrate hooks ------------------------------------------------

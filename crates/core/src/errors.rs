@@ -23,6 +23,9 @@ pub enum ProtocolError {
         /// Hops followed before giving up.
         hops: u32,
     },
+    /// The object has operations in progress, a move in flight, or is part
+    /// of an attachment — the requested destructive operation must wait.
+    ObjectBusy(VAddr),
 }
 
 impl ProtocolError {
@@ -33,6 +36,7 @@ impl ProtocolError {
         match self {
             ProtocolError::ObjectDestroyed(_) => "protocol-error: object-destroyed",
             ProtocolError::ChaseDiverged { .. } => "protocol-error: chase-diverged",
+            ProtocolError::ObjectBusy(_) => "protocol-error: object-busy",
         }
     }
 }
@@ -45,6 +49,12 @@ impl std::fmt::Display for ProtocolError {
             }
             ProtocolError::ChaseDiverged { addr, hops } => {
                 write!(f, "forwarding chase for {addr:?} gave up after {hops} hops")
+            }
+            ProtocolError::ObjectBusy(addr) => {
+                write!(
+                    f,
+                    "object {addr:?} is busy (operations, move, or attachment)"
+                )
             }
         }
     }

@@ -344,14 +344,22 @@ impl Kernel {
     }
 
     /// Acquires the payload in `access` mode, parking behind current
-    /// operations if necessary. Returns the payload cell.
-    fn acquire_payload(&self, addr: VAddr, access: Access) -> Arc<ObjectCell> {
+    /// operations if necessary. Returns the payload cell, or
+    /// [`ProtocolError::ObjectDestroyed`] when the object vanished between
+    /// chase resolution and this admission check — liveness is re-checked
+    /// under the shard lock on every iteration (including after each park),
+    /// so a racing destroy surfaces as a typed error, never a panic.
+    fn acquire_payload(
+        &self,
+        addr: VAddr,
+        access: Access,
+    ) -> Result<Arc<ObjectCell>, ProtocolError> {
         let me = must_current_thread();
         loop {
             let mut shard = self.objects.lock(addr);
-            let e = shard
-                .get_mut(&addr)
-                .expect("invocation of destroyed object");
+            let Some(e) = shard.get_mut(&addr) else {
+                return Err(ProtocolError::ObjectDestroyed(addr));
+            };
             assert_ne!(
                 e.excl_owner,
                 Some(me),
@@ -375,7 +383,7 @@ impl Kernel {
                 }
                 // Clear any stale registration left by a spurious wake-up.
                 e.op_waiters.retain(|w| w.thread != me);
-                return Arc::clone(&e.cell);
+                return Ok(Arc::clone(&e.cell));
             }
             if !e.op_waiters.iter().any(|w| w.thread == me) {
                 e.op_waiters.push_back(OpWaiter { thread: me, access });
@@ -531,7 +539,17 @@ impl Kernel {
             });
         }
         self.engine.work(self.cost.local_invoke);
-        let cell = self.acquire_payload(addr, Access::Exclusive);
+        let cell = match self.acquire_payload(addr, Access::Exclusive) {
+            Ok(cell) => cell,
+            Err(e) => {
+                // Destroyed between chase resolution and admission: unwind
+                // the frame like the `ensure_at_object` error arm (carry is
+                // already reset) so an `Err` still means `op` never ran.
+                self.unbind_frame(me, addr);
+                self.return_to_enclosing();
+                return Err(e);
+            }
+        };
         let result = {
             let mut data = cell.data.write();
             let t: &mut T = data
@@ -629,7 +647,14 @@ impl Kernel {
             });
         }
         self.engine.work(self.cost.local_invoke);
-        let cell = self.acquire_payload(addr, Access::Shared);
+        let cell = match self.acquire_payload(addr, Access::Shared) {
+            Ok(cell) => cell,
+            Err(e) => {
+                self.unbind_frame(me, addr);
+                self.return_to_enclosing();
+                return Err(e);
+            }
+        };
         let result = {
             let data = cell.data.read();
             let t: &T = data

@@ -34,6 +34,7 @@ use amber_vspace::{AddressSpaceServer, DescriptorTable, HeapError, NodeHeap, Reg
 use parking_lot::{Mutex, RwLock};
 
 use crate::adaptive::{PlacementPolicy, PlacementRuntime};
+use crate::errors::ProtocolError;
 use crate::objref::{AmberObject, ObjRef};
 use crate::registry::{ObjectRegistry, ThreadRegistry};
 use crate::stats::ProtocolStats;
@@ -186,6 +187,12 @@ pub struct Kernel {
     /// so the `chase_heavy_invoke` benchmark and the equivalence tests can
     /// run both protocols from one binary.
     pub(crate) locate_fastpath: bool,
+    /// When `true` (the default), the placement daemon executes
+    /// [`PlacementDecision::Scatter`](crate::PlacementDecision::Scatter)
+    /// advisories as group moves; when `false` it declines them with a
+    /// `"scatter-disabled"` skip, so a policy proposing scatters can be
+    /// compared against a mechanism-off run from one binary.
+    pub(crate) scatter: bool,
 }
 
 impl Kernel {
@@ -197,6 +204,7 @@ impl Kernel {
         policy: Option<Box<dyn PlacementPolicy>>,
         demand_replication: bool,
         locate_fastpath: bool,
+        scatter: bool,
     ) -> Arc<Kernel> {
         let n = engine.nodes();
         let mut server = AddressSpaceServer::new();
@@ -228,6 +236,7 @@ impl Kernel {
             placement: policy.map(|p| PlacementRuntime::new(p, n)),
             demand_replication,
             locate_fastpath,
+            scatter,
         })
     }
 
@@ -356,6 +365,7 @@ impl Kernel {
         let prev = self.objects.lock(addr).insert(addr, entry);
         debug_assert!(prev.is_none(), "heap handed out a live address");
         ProtocolStats::bump(&self.pstats.creates);
+        self.note_placement_activity(node);
         self.trace(|| amber_engine::ProtocolEvent::ObjectCreate { obj: addr.0, node });
         ObjRef::from_addr(addr)
     }
@@ -384,6 +394,7 @@ impl Kernel {
         let prev = self.objects.lock(addr).insert(addr, entry);
         debug_assert!(prev.is_none(), "heap handed out a live address");
         ProtocolStats::bump(&self.pstats.creates);
+        self.note_placement_activity(node);
         self.trace(|| amber_engine::ProtocolEvent::ObjectCreate { obj: addr.0, node });
         self.one_way(node, from, self.cost.control_packet_bytes, "create-reply");
         ObjRef::from_addr(addr)
@@ -393,23 +404,32 @@ impl Kernel {
     /// pool. The object must be idle (no operations in progress, no threads
     /// bound, no move in flight) and must not be part of an attachment.
     ///
-    /// # Panics
-    ///
-    /// Panics if the object is unknown, busy, attached, or being moved.
-    pub(crate) fn destroy(&self, addr: VAddr) {
+    /// Races surface as typed errors, never panics: a double destroy (or a
+    /// destroy of an address that never existed) is
+    /// [`ProtocolError::ObjectDestroyed`]; a destroy that catches the object
+    /// with operations in progress, mid-move, or attached is
+    /// [`ProtocolError::ObjectBusy`]. All checks and the entry removal
+    /// happen under one shard lock, so exactly one of two racing destroyers
+    /// wins and the loser gets a deterministic `Err`.
+    pub(crate) fn destroy(&self, addr: VAddr) -> Result<(), ProtocolError> {
         let entry = {
             let mut shard = self.objects.lock(addr);
-            let e = shard.get(&addr).expect("destroy of unknown object");
-            assert!(
-                e.excl_owner.is_none() && e.shared_count == 0 && e.bound.is_empty(),
-                "destroy of an object with operations in progress"
-            );
-            assert!(!e.moving, "destroy of an object while a move is in flight");
-            assert!(
-                e.attached.is_empty() && e.attached_to.is_none(),
-                "destroy of an attached object; Unattach first"
-            );
-            shard.remove(&addr).expect("entry vanished")
+            let Some(e) = shard.remove(&addr) else {
+                return Err(ProtocolError::ObjectDestroyed(addr));
+            };
+            let busy = e.excl_owner.is_some()
+                || e.shared_count != 0
+                || !e.bound.is_empty()
+                || e.moving
+                || !e.attached.is_empty()
+                || e.attached_to.is_some();
+            if busy {
+                // Busy objects stay alive: put the entry back under the same
+                // lock, so the race loser observed nothing but an `Err`.
+                shard.insert(addr, e);
+                return Err(ProtocolError::ObjectBusy(addr));
+            }
+            e
         };
         let me = self.current_node();
         // Clear the address on *every* node, not just here/location/home:
@@ -419,16 +439,31 @@ impl Kernel {
         for node in &self.nodes {
             node.descriptors.write().clear(addr);
         }
-        self.nodes[entry.home.index()]
-            .heap
-            .lock()
-            .free(addr)
-            .expect("destroying object whose block is not live");
+        // The registry entry was removed atomically above, so exactly one
+        // destroyer reaches this free; a failure would mean heap-metadata
+        // corruption, which the free-pool scan already self-heals, so the
+        // result is advisory rather than a panic edge.
+        let freed = self.nodes[entry.home.index()].heap.lock().free(addr);
+        debug_assert!(freed.is_ok(), "destroying object whose block is not live");
         ProtocolStats::bump(&self.pstats.destroys);
         self.trace(|| amber_engine::ProtocolEvent::ObjectDestroy {
             obj: addr.0,
             node: me,
         });
+        Ok(())
+    }
+
+    /// Objects currently resident on each node, indexed by node. One
+    /// registry walk, shard by shard; see [`Cluster::resident_counts`]
+    /// (`crate::Cluster`) for the staleness contract.
+    pub(crate) fn resident_counts(&self) -> Vec<u64> {
+        let mut counts = vec![0u64; self.nodes.len()];
+        self.objects.for_each(|_, e| {
+            if let Some(c) = counts.get_mut(e.location.index()) {
+                *c += 1;
+            }
+        });
+        counts
     }
 
     /// Charges `cost` of CPU to the current thread, after first letting the

@@ -55,7 +55,7 @@ mod registry;
 mod stats;
 mod thread;
 
-pub use adaptive::{PlacementDecision, PlacementPolicy, PlacementSample};
+pub use adaptive::{NodeSample, PlacementDecision, PlacementPolicy, PlacementSample};
 pub use cluster::{Cluster, ClusterBuilder, Ctx, EngineChoice};
 pub use errors::ProtocolError;
 pub use kernel::Kernel;

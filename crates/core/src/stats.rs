@@ -44,6 +44,10 @@ pub struct ProtocolStats {
     /// Advisory replica installs issued by the adaptive placement engine
     /// (each also counts under `replications`).
     pub advisory_replications: AtomicU64,
+    /// Advisory scatter moves issued by the adaptive placement engine to
+    /// spread cold objects off an occupancy-dominating node (each also
+    /// counts under `object_moves`).
+    pub advisory_scatters: AtomicU64,
     /// Placement advisories the kernel declined at execution time (pinned,
     /// mid-move, mid-install, destroyed, attached, wrong mutability, or
     /// already at the target).
@@ -77,6 +81,7 @@ pub struct ProtocolSnapshot {
     pub region_lookups: u64,
     pub advisory_moves: u64,
     pub advisory_replications: u64,
+    pub advisory_scatters: u64,
     pub advisory_skips: u64,
     pub chase_divergences: u64,
     pub hint_repairs: u64,
@@ -107,6 +112,7 @@ impl ProtocolStats {
             region_lookups: self.region_lookups.load(Ordering::Relaxed),
             advisory_moves: self.advisory_moves.load(Ordering::Relaxed),
             advisory_replications: self.advisory_replications.load(Ordering::Relaxed),
+            advisory_scatters: self.advisory_scatters.load(Ordering::Relaxed),
             advisory_skips: self.advisory_skips.load(Ordering::Relaxed),
             chase_divergences: self.chase_divergences.load(Ordering::Relaxed),
             hint_repairs: self.hint_repairs.load(Ordering::Relaxed),
@@ -185,6 +191,7 @@ impl TraceSummary {
                 E::LinkPartitioned { .. } => s.partition_drops += 1,
                 E::AdvisoryMove { .. } => s.snapshot.advisory_moves += 1,
                 E::AdvisoryReplicate { .. } => s.snapshot.advisory_replications += 1,
+                E::AdvisoryScatter { .. } => s.snapshot.advisory_scatters += 1,
                 E::AdvisorySkipped { .. } => s.snapshot.advisory_skips += 1,
                 E::ChaseDiverged { .. } => s.snapshot.chase_divergences += 1,
                 E::HintRepair { .. } => s.snapshot.hint_repairs += 1,

@@ -531,6 +531,164 @@ fn locating_a_destroyed_object_is_a_typed_error() {
 }
 
 #[test]
+fn double_destroy_is_a_deterministic_typed_error() {
+    let c = sim(2, 2);
+    c.run(|ctx| {
+        // Sequentially: the second destroy of the same reference reports
+        // exactly which object was already gone.
+        let a = ctx.create_on(NodeId(1), 5u64);
+        let addr = ctx.addr_of(&a);
+        assert_eq!(ctx.try_destroy(a), Ok(()));
+        assert_eq!(
+            ctx.try_destroy(a),
+            Err(crate::ProtocolError::ObjectDestroyed(addr))
+        );
+
+        // Racing from two nodes: exactly one destroyer wins; the loser gets
+        // the same typed error, never a panic or a double free.
+        let target = ctx.create_on(NodeId(1), 0u64);
+        let anchor = ctx.create_on(NodeId(1), 0u8);
+        let h = ctx.start(&anchor, move |ctx, _| ctx.try_destroy(target).is_ok());
+        let mine = ctx.try_destroy(target).is_ok();
+        let theirs = h.join(ctx);
+        assert!(
+            mine ^ theirs,
+            "exactly one destroyer must win: mine={mine} theirs={theirs}"
+        );
+    })
+    .unwrap();
+}
+
+#[test]
+fn destroying_a_busy_object_is_a_typed_error() {
+    let c = sim(1, 2);
+    c.run(|ctx| {
+        // In-flight exclusive invocation: the destroy is declined, the
+        // object and its invocation are untouched, and destroy succeeds
+        // once the operation drains.
+        let obj = ctx.create(0u64);
+        let addr = ctx.addr_of(&obj);
+        let anchor = ctx.create(0u8);
+        let h = ctx.start(&anchor, move |ctx, _| {
+            ctx.invoke(&obj, |ctx, n| {
+                ctx.sleep(SimTime::from_ms(5));
+                *n += 1;
+            });
+        });
+        ctx.sleep(SimTime::from_ms(1));
+        assert_eq!(
+            ctx.try_destroy(obj),
+            Err(crate::ProtocolError::ObjectBusy(addr))
+        );
+        h.join(ctx);
+        assert_eq!(ctx.invoke(&obj, |_, n| *n), 1, "declined destroy ran");
+        assert_eq!(ctx.try_destroy(obj), Ok(()));
+
+        // Attachment counts as busy on both ends: groups are destroyed by
+        // unattaching first, never by tearing a member out from under the
+        // group move machinery.
+        let root = ctx.create(0u64);
+        let child = ctx.create(0u64);
+        ctx.attach(&child, &root);
+        assert_eq!(
+            ctx.try_destroy(root),
+            Err(crate::ProtocolError::ObjectBusy(ctx.addr_of(&root)))
+        );
+        assert_eq!(
+            ctx.try_destroy(child),
+            Err(crate::ProtocolError::ObjectBusy(ctx.addr_of(&child)))
+        );
+        ctx.unattach(&child);
+        assert_eq!(ctx.try_destroy(child), Ok(()));
+        assert_eq!(ctx.try_destroy(root), Ok(()));
+    })
+    .unwrap();
+}
+
+#[test]
+fn destroy_racing_remote_invoke_is_typed_never_a_panic() {
+    // A remote invocation migrates the calling thread toward the object,
+    // leaving a window between chase resolution and payload admission. A
+    // destroy landing inside that window used to abort the process at
+    // `expect("invocation of destroyed object")`; now the admission
+    // re-checks liveness under the shard lock and the invoke surfaces
+    // `ObjectDestroyed` without running the operation. Sweep the (virtual,
+    // deterministic) destroy delay to hit the window.
+    let mut invoke_lost = false;
+    for delay_us in [0u64, 10, 50, 100, 200, 500, 1000, 2000, 5000, 10_000] {
+        let c = sim(2, 2);
+        let (destroyed, invoked) = c
+            .run(move |ctx| {
+                let obj = ctx.create(0u64);
+                let anchor = ctx.create_on(NodeId(1), 0u8);
+                let h = ctx.start(&anchor, move |ctx, _| {
+                    // Remote caller: the thread must cross the network, so
+                    // the destroy below can land mid-flight.
+                    ctx.try_invoke(&obj, |_, n| *n += 1).is_ok()
+                });
+                ctx.sleep(SimTime::from_us(delay_us));
+                let destroyed = ctx.try_destroy(obj);
+                (destroyed, h.join(ctx))
+            })
+            .unwrap();
+        match destroyed {
+            // Destroy won: the invoke must have seen the typed error.
+            Ok(()) if !invoked => invoke_lost = true,
+            // Invoke finished first, then the destroy succeeded.
+            Ok(()) => {}
+            // Destroy landed mid-invocation: declined, invoke completed.
+            Err(crate::ProtocolError::ObjectBusy(_)) => {
+                assert!(invoked, "busy destroy but the invoke failed")
+            }
+            Err(e) => panic!("unexpected destroy outcome at {delay_us}us: {e}"),
+        }
+    }
+    assert!(
+        invoke_lost,
+        "no sweep delay made the invoke observe the destroy"
+    );
+}
+
+#[test]
+fn destroy_racing_move_is_busy_never_a_panic() {
+    // The move machinery flags the object `moving` while the transfer is in
+    // flight; a destroy landing in that window is declined as ObjectBusy
+    // rather than freeing a block mid-transfer. Sweep the destroy delay
+    // over the move's network flight time.
+    let mut hit_busy = false;
+    for delay_us in [0u64, 10, 50, 100, 200, 500, 1000, 2000, 5000, 10_000] {
+        let c = sim(2, 2);
+        let result = c.run(move |ctx| {
+            let obj = ctx.create(0u64);
+            let anchor = ctx.create_on(NodeId(1), 0u8);
+            let h = ctx.start(&anchor, move |ctx, _| {
+                ctx.move_to(&obj, NodeId(1));
+            });
+            ctx.sleep(SimTime::from_us(delay_us));
+            let destroyed = ctx.try_destroy(obj);
+            h.join(ctx);
+            destroyed
+        });
+        match result {
+            Ok(Ok(())) => {}
+            Ok(Err(crate::ProtocolError::ObjectBusy(_))) => hit_busy = true,
+            Ok(Err(e)) => panic!("unexpected destroy outcome at {delay_us}us: {e}"),
+            // Destroy won before the mover looked the object up: the
+            // infallible `move_to` halts under the typed reason and the
+            // simulator reports it — an error, never a process abort.
+            Err(e) => {
+                let msg = e.to_string();
+                assert!(
+                    msg.contains("object-destroyed") || msg.contains("MoveTo on destroyed"),
+                    "unexpected failure mode at {delay_us}us: {msg}"
+                );
+            }
+        }
+    }
+    assert!(hit_busy, "no sweep delay hit the destroy-vs-move window");
+}
+
+#[test]
 fn diverging_chase_gives_up_with_an_error() {
     // Corrupt two descriptor tables into a forwarding cycle that never
     // reaches the object's true node: the chase must give up at the hop
@@ -1144,7 +1302,7 @@ fn thousand_object_attachment_group_moves_as_one() {
 
 mod adaptive {
     use super::*;
-    use crate::{PlacementDecision, PlacementPolicy, PlacementSample};
+    use crate::{NodeSample, PlacementDecision, PlacementPolicy, PlacementSample};
 
     /// Minimal greedy policy for mechanism tests: propose a move to the top
     /// caller once it logged `min_calls` in a window. No hysteresis or
@@ -1160,7 +1318,11 @@ mod adaptive {
             self.tick
         }
 
-        fn decide(&mut self, _nodes: usize, samples: &[PlacementSample]) -> Vec<PlacementDecision> {
+        fn decide(
+            &mut self,
+            _nodes: &[NodeSample],
+            samples: &[PlacementSample],
+        ) -> Vec<PlacementDecision> {
             samples
                 .iter()
                 .filter_map(|s| {
@@ -1273,7 +1435,11 @@ mod adaptive {
             self.evict_after
         }
 
-        fn decide(&mut self, _nodes: usize, samples: &[PlacementSample]) -> Vec<PlacementDecision> {
+        fn decide(
+            &mut self,
+            _nodes: &[NodeSample],
+            samples: &[PlacementSample],
+        ) -> Vec<PlacementDecision> {
             let (min_calls, propose_mutable) = (self.min_calls, self.propose_mutable);
             samples
                 .iter()
@@ -1504,6 +1670,126 @@ mod adaptive {
             }
         }
         assert!(hit, "no sweep delay hit the destroy-vs-replication window");
+    }
+
+    /// Occupancy-driven policy for the scatter mechanism tests: shed up to
+    /// two cold objects per tick from the fullest node to the emptiest,
+    /// stopping within one object of balance. Scoring niceties (shares,
+    /// credit, budgets) live in `amber-placement` and have their own tests;
+    /// here we exercise the kernel mechanism end to end.
+    struct ScatterPolicy {
+        tick: SimTime,
+    }
+
+    impl PlacementPolicy for ScatterPolicy {
+        fn tick_interval(&self) -> SimTime {
+            self.tick
+        }
+
+        fn decide(
+            &mut self,
+            nodes: &[NodeSample],
+            _samples: &[PlacementSample],
+        ) -> Vec<PlacementDecision> {
+            let Some(src) = nodes.iter().max_by_key(|ns| ns.resident) else {
+                return Vec::new();
+            };
+            let Some(dst) = nodes
+                .iter()
+                .filter(|ns| ns.node != src.node)
+                .min_by_key(|ns| ns.resident)
+            else {
+                return Vec::new();
+            };
+            if src.resident <= dst.resident + 1 {
+                return Vec::new();
+            }
+            src.cold
+                .iter()
+                .take(2)
+                .map(|&obj| PlacementDecision::Scatter { obj, to: dst.node })
+                .collect()
+        }
+    }
+
+    fn scatter_sim(nodes: usize, scatter: bool) -> Cluster {
+        Cluster::builder()
+            .nodes(nodes)
+            .processors(2)
+            .scatter(scatter)
+            .adaptive_placement(|| ScatterPolicy {
+                tick: SimTime::from_ms(30),
+            })
+            .build()
+    }
+
+    /// One scatter-shaped program: everything created on node 0, a pinned
+    /// anchor keeps the worker there, the hot counter keeps traffic flowing
+    /// so ticks stay armed, and six cold objects are candidates to spread.
+    fn run_scatter_program(c: &Cluster) -> usize {
+        c.run(|ctx| {
+            let anchor = ctx.create(0u8);
+            ctx.pin(&anchor);
+            let hot = ctx.create(0u64);
+            let cold: Vec<_> = (0..6).map(|i| ctx.create(i as u64)).collect();
+            let h = ctx.start(&anchor, move |ctx, _| {
+                for _ in 0..50 {
+                    ctx.invoke(&hot, |ctx, n| {
+                        ctx.work(SimTime::from_ms(2));
+                        *n += 1;
+                    });
+                }
+            });
+            h.join(ctx);
+            for (i, o) in cold.iter().enumerate() {
+                assert_eq!(
+                    ctx.try_invoke(o, |_, v| *v),
+                    Ok(i as u64),
+                    "scatter lost a payload"
+                );
+            }
+            cold.iter()
+                .filter(|o| ctx.try_locate(o) != Ok(NodeId(0)))
+                .count()
+        })
+        .unwrap()
+    }
+
+    #[test]
+    fn advisor_scatters_cold_objects_off_the_crowded_node() {
+        let c = scatter_sim(2, true);
+        let sink = c.enable_tracing();
+        let spread = run_scatter_program(&c);
+        assert!(spread >= 1, "no cold object left the crowded node");
+        let p = c.protocol_stats();
+        assert!(p.advisory_scatters >= 1, "no scatter recorded: {p:?}");
+        assert_eq!(
+            p.advisory_moves, 0,
+            "scatters must not count as traffic moves: {p:?}"
+        );
+        let events = sink.take();
+        assert!(events.iter().any(|r| r.event.name() == "advisory_scatter"));
+        let summary = crate::TraceSummary::from_events(&events);
+        assert_eq!(summary.snapshot, p);
+        assert_eq!(summary.messages, c.net_stats().total_msgs());
+    }
+
+    #[test]
+    fn scatter_knob_off_declines_with_a_skip_not_a_move() {
+        let c = scatter_sim(2, false);
+        let sink = c.enable_tracing();
+        let spread = run_scatter_program(&c);
+        assert_eq!(spread, 0, "scatter ran with the knob off");
+        let p = c.protocol_stats();
+        assert_eq!(p.advisory_scatters, 0, "scatter recorded anyway: {p:?}");
+        assert!(
+            p.advisory_skips >= 1,
+            "declined proposals must surface as skips: {p:?}"
+        );
+        let events = sink.take();
+        assert!(events.iter().any(|r| r.event.name() == "advisory_skipped"));
+        let summary = crate::TraceSummary::from_events(&events);
+        assert_eq!(summary.snapshot, p);
     }
 
     #[test]

@@ -193,6 +193,17 @@ pub enum ProtocolEvent {
         /// Reader node the replica installed on.
         to: NodeId,
     },
+    /// The adaptive placement advisor scattered a cold object group off an
+    /// occupancy-dominating node toward an emptier one (the underlying
+    /// transfer also emits an `ObjectMove`).
+    AdvisoryScatter {
+        /// Address of the scattered (root) object.
+        obj: u64,
+        /// Overloaded node the group left.
+        from: NodeId,
+        /// Emptier node the group scattered to.
+        to: NodeId,
+    },
     /// The kernel declined a placement advisory at execution time (object
     /// pinned, mid-move, mid-install, destroyed, attached, mutable where a
     /// replica was proposed, immutable where a move was, or already there).
@@ -269,6 +280,7 @@ impl ProtocolEvent {
             ProtocolEvent::LinkPartitioned { .. } => "link_partitioned",
             ProtocolEvent::AdvisoryMove { .. } => "advisory_move",
             ProtocolEvent::AdvisoryReplicate { .. } => "advisory_replicate",
+            ProtocolEvent::AdvisoryScatter { .. } => "advisory_scatter",
             ProtocolEvent::AdvisorySkipped { .. } => "advisory_skipped",
             ProtocolEvent::ChaseDiverged { .. } => "chase_diverged",
             ProtocolEvent::HintRepair { .. } => "hint_repair",
@@ -297,7 +309,8 @@ impl ProtocolEvent {
             | ProtocolEvent::ChaseDiverged { at, .. }
             | ProtocolEvent::HintRepair { at, .. } => at,
             ProtocolEvent::AdvisoryMove { to, .. }
-            | ProtocolEvent::AdvisoryReplicate { to, .. } => to,
+            | ProtocolEvent::AdvisoryReplicate { to, .. }
+            | ProtocolEvent::AdvisoryScatter { to, .. } => to,
             ProtocolEvent::Join { .. } => NodeId(0),
             ProtocolEvent::MessageSend { from, .. }
             | ProtocolEvent::MessageDropped { from, .. }
@@ -543,7 +556,8 @@ fn push_args(out: &mut String, event: &ProtocolEvent) {
             let _ = write!(out, "\"from\":{},\"to\":{}", from.index(), to.index());
         }
         ProtocolEvent::AdvisoryMove { obj, from, to }
-        | ProtocolEvent::AdvisoryReplicate { obj, from, to } => {
+        | ProtocolEvent::AdvisoryReplicate { obj, from, to }
+        | ProtocolEvent::AdvisoryScatter { obj, from, to } => {
             let _ = write!(
                 out,
                 "\"obj\":{obj},\"from\":{},\"to\":{}",

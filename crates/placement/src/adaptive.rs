@@ -21,8 +21,10 @@
 //! depth sampled into the tick's [`PlacementSample`], so traffic prefers
 //! lightly loaded nodes when call volumes tie.
 
-use amber_core::{NodeId, PlacementDecision, PlacementPolicy, PlacementSample, SimTime};
-use std::collections::HashMap;
+use amber_core::{
+    NodeId, NodeSample, PlacementDecision, PlacementPolicy, PlacementSample, SimTime,
+};
+use std::collections::{HashMap, HashSet};
 
 /// Tuning knobs for [`TrafficAdvisor`].
 #[derive(Clone, Debug)]
@@ -55,6 +57,23 @@ pub struct AdaptiveConfig {
     /// no local calls is aged out, freeing the cap for warmer readers.
     /// `None` keeps replicas until the object is destroyed.
     pub replica_idle_ticks: Option<u32>,
+    /// Occupancy-share trigger for the scatter detector: a node whose
+    /// resident-object share (or placement-rate share, once placements this
+    /// tick reach `min_calls`) is at least this fraction of the cluster
+    /// total is considered overloaded and may shed cold objects. Must
+    /// exceed `1/nodes` to mean anything; the gap between fair share and
+    /// this trigger is the scatter path's hysteresis band.
+    pub scatter_share: f64,
+    /// Cold-credit ceiling: an object is only scattered while its smoothed
+    /// call credit is at or below this value, so anything the move or
+    /// replicate paths are still watching is off limits — the two halves of
+    /// the advisor can never fight over one object.
+    pub scatter_cold_credit: f64,
+    /// Rate limit for scattering, separate from the move and replica
+    /// budgets: at most this many scatter proposals per tick. Zero (the
+    /// default) disables the scatter path entirely; spreading cold objects
+    /// is opt-in, unlike the traffic-chasing halves.
+    pub max_scatters_per_tick: usize,
 }
 
 impl Default for AdaptiveConfig {
@@ -68,6 +87,9 @@ impl Default for AdaptiveConfig {
             max_replicas_per_tick: 4,
             replica_cap: 4,
             replica_idle_ticks: Some(8),
+            scatter_share: 0.5,
+            scatter_cold_credit: 1.0,
+            max_scatters_per_tick: 0,
         }
     }
 }
@@ -105,7 +127,11 @@ impl PlacementPolicy for TrafficAdvisor {
         self.cfg.replica_idle_ticks
     }
 
-    fn decide(&mut self, _nodes: usize, samples: &[PlacementSample]) -> Vec<PlacementDecision> {
+    fn decide(
+        &mut self,
+        nodes: &[NodeSample],
+        samples: &[PlacementSample],
+    ) -> Vec<PlacementDecision> {
         self.tick_no += 1;
         let mut movers: Vec<(f64, u64, NodeId)> = Vec::new();
         let mut replicators: Vec<(f64, u64, NodeId)> = Vec::new();
@@ -223,7 +249,116 @@ impl PlacementPolicy for TrafficAdvisor {
                 .insert(obj, self.tick_no + self.cfg.cooldown_ticks);
             out.push(PlacementDecision::Replicate { obj, to });
         }
+        self.scatter(nodes, samples, &mut out);
         out
+    }
+}
+
+impl TrafficAdvisor {
+    /// The spread half of the advisor: when one node dominates occupancy
+    /// (resident-object share, or placement-rate share once the tick's
+    /// placements are statistically meaningful), propose moving its *cold*
+    /// residents toward the emptiest nodes, scored by the same
+    /// `calls / (1 + queue_depth)` load measure the attract paths use —
+    /// inverted, so low traffic and a shallow run queue make a node a good
+    /// scatter target rather than a good move target.
+    ///
+    /// Guard rails keeping this from fighting the move/replicate halves:
+    /// only objects whose smoothed credit is at or below the cold ceiling
+    /// qualify (anything warm belongs to the attract paths), objects
+    /// proposed this tick or still on cooldown are skipped, the source only
+    /// sheds down to its fair share (the trigger sitting above fair share
+    /// is the hysteresis band that stops ping-pong), and the whole path has
+    /// its own per-tick budget.
+    fn scatter(
+        &mut self,
+        nodes: &[NodeSample],
+        samples: &[PlacementSample],
+        out: &mut Vec<PlacementDecision>,
+    ) {
+        let budget = self.cfg.max_scatters_per_tick;
+        if budget == 0 || nodes.len() < 2 {
+            return;
+        }
+        let total_resident: u64 = nodes.iter().map(|n| n.resident).sum();
+        if total_resident == 0 {
+            return;
+        }
+        let total_placements: u64 = nodes.iter().map(|n| n.placements).sum();
+        let fair = total_resident.div_ceil(nodes.len() as u64);
+        // Share of cluster occupancy (and of this tick's placements, once
+        // there are enough to matter) each node is responsible for.
+        let share = |ns: &NodeSample| {
+            let occ = ns.resident as f64 / total_resident as f64;
+            let rate = if total_placements >= self.cfg.min_calls {
+                ns.placements as f64 / total_placements as f64
+            } else {
+                0.0
+            };
+            occ.max(rate)
+        };
+        // Overloaded sources, most concentrated first (lower id on ties).
+        let mut sources: Vec<(f64, usize)> = nodes
+            .iter()
+            .enumerate()
+            .filter(|(_, ns)| share(ns) >= self.cfg.scatter_share && ns.resident > fair)
+            .map(|(i, ns)| (share(ns), i))
+            .collect();
+        sources.sort_by(|a, b| b.0.total_cmp(&a.0).then(a.1.cmp(&b.1)));
+        if sources.is_empty() {
+            return;
+        }
+        // Objects the attract paths already spoke for this tick.
+        let taken: HashSet<u64> = out
+            .iter()
+            .map(|d| match *d {
+                PlacementDecision::Move { obj, .. }
+                | PlacementDecision::Replicate { obj, .. }
+                | PlacementDecision::Scatter { obj, .. } => obj,
+            })
+            .chain(samples.iter().map(|s| s.obj))
+            .collect();
+        let mut remaining = budget;
+        for (_, src) in sources {
+            if remaining == 0 {
+                break;
+            }
+            // Emptiness-ranked targets: invert the load score so the least
+            // loaded node wins; residents then node id break ties.
+            let mut targets: Vec<usize> = (0..nodes.len()).filter(|&i| i != src).collect();
+            targets.sort_by(|&a, &b| {
+                let load = |i: usize| nodes[i].calls as f64 / (1.0 + nodes[i].queue_depth as f64);
+                load(a)
+                    .total_cmp(&load(b))
+                    .then(nodes[a].resident.cmp(&nodes[b].resident))
+                    .then(a.cmp(&b))
+            });
+            // Shed at most down to fair share, never below.
+            let excess = (nodes[src].resident.saturating_sub(fair)) as usize;
+            let mut shed = 0usize;
+            for &obj in &nodes[src].cold {
+                if shed >= excess || remaining == 0 {
+                    break;
+                }
+                if taken.contains(&obj) {
+                    continue;
+                }
+                if self.cooldown_until.get(&obj).copied().unwrap_or(0) > self.tick_no {
+                    continue;
+                }
+                if self.credit.get(&obj).copied().unwrap_or(0.0) > self.cfg.scatter_cold_credit {
+                    continue;
+                }
+                // Round-robin over the emptiness ranking so one tick's
+                // budget doesn't pile onto a single target.
+                let to = NodeId::from(targets[shed % targets.len()]);
+                self.cooldown_until
+                    .insert(obj, self.tick_no + self.cfg.cooldown_ticks);
+                out.push(PlacementDecision::Scatter { obj, to });
+                shed += 1;
+                remaining -= 1;
+            }
+        }
     }
 }
 
@@ -241,6 +376,9 @@ mod tests {
             max_replicas_per_tick: 2,
             replica_cap: 2,
             replica_idle_ticks: Some(8),
+            scatter_share: 0.5,
+            scatter_cold_credit: 1.0,
+            max_scatters_per_tick: 0,
         }
     }
 
@@ -268,10 +406,47 @@ mod tests {
         }
     }
 
+    /// Node samples for a cluster with no occupancy signal at all — the
+    /// attract-path tests use these, since only the scatter path reads them.
+    fn quiet_nodes(n: usize) -> Vec<NodeSample> {
+        (0..n)
+            .map(|i| NodeSample {
+                node: NodeId::from(i),
+                resident: 0,
+                placements: 0,
+                calls: 0,
+                queue_depth: 0,
+                cold: Vec::new(),
+            })
+            .collect()
+    }
+
+    /// A node sample with `resident` objects, all of them cold candidates
+    /// at addresses `base, base+16, ...`.
+    fn loaded_node(i: usize, resident: u64, base: u64) -> NodeSample {
+        NodeSample {
+            node: NodeId::from(i),
+            resident,
+            placements: 0,
+            calls: 0,
+            queue_depth: 0,
+            cold: (0..resident).map(|k| base + 16 * k).collect(),
+        }
+    }
+
+    fn scatter_cfg() -> AdaptiveConfig {
+        AdaptiveConfig {
+            scatter_share: 0.5,
+            scatter_cold_credit: 1.0,
+            max_scatters_per_tick: 2,
+            ..cfg()
+        }
+    }
+
     #[test]
     fn moves_toward_dominant_caller() {
         let mut adv = TrafficAdvisor::new(cfg());
-        let d = adv.decide(2, &[sample(16, 1, &[40, 2])]);
+        let d = adv.decide(&quiet_nodes(2), &[sample(16, 1, &[40, 2])]);
         assert_eq!(
             d,
             vec![PlacementDecision::Move {
@@ -285,14 +460,14 @@ mod tests {
     fn hysteresis_holds_back_weak_imbalance() {
         let mut adv = TrafficAdvisor::new(cfg());
         // 1.5x dominance < 2.0 hysteresis: no move, however much traffic.
-        let d = adv.decide(2, &[sample(16, 1, &[30, 20])]);
+        let d = adv.decide(&quiet_nodes(2), &[sample(16, 1, &[30, 20])]);
         assert!(d.is_empty());
     }
 
     #[test]
     fn local_dominance_never_moves() {
         let mut adv = TrafficAdvisor::new(cfg());
-        let d = adv.decide(2, &[sample(16, 0, &[100, 1])]);
+        let d = adv.decide(&quiet_nodes(2), &[sample(16, 0, &[100, 1])]);
         assert!(d.is_empty());
     }
 
@@ -300,19 +475,31 @@ mod tests {
     fn cooldown_suppresses_immediate_reproposal() {
         let mut adv = TrafficAdvisor::new(cfg());
         let hot = sample(16, 1, &[40, 2]);
-        assert_eq!(adv.decide(2, std::slice::from_ref(&hot)).len(), 1);
+        assert_eq!(
+            adv.decide(&quiet_nodes(2), std::slice::from_ref(&hot))
+                .len(),
+            1
+        );
         // Same imbalance next ticks: still cooling down.
-        assert!(adv.decide(2, std::slice::from_ref(&hot)).is_empty());
-        assert!(adv.decide(2, std::slice::from_ref(&hot)).is_empty());
+        assert!(adv
+            .decide(&quiet_nodes(2), std::slice::from_ref(&hot))
+            .is_empty());
+        assert!(adv
+            .decide(&quiet_nodes(2), std::slice::from_ref(&hot))
+            .is_empty());
         // Cooldown expired (and credit rebuilt): proposed again.
-        assert_eq!(adv.decide(2, std::slice::from_ref(&hot)).len(), 1);
+        assert_eq!(
+            adv.decide(&quiet_nodes(2), std::slice::from_ref(&hot))
+                .len(),
+            1
+        );
     }
 
     #[test]
     fn rate_limit_takes_highest_credit_first() {
         let mut adv = TrafficAdvisor::new(cfg());
         let d = adv.decide(
-            2,
+            &quiet_nodes(2),
             &[
                 sample(16, 1, &[10, 0]),
                 sample(32, 1, &[80, 0]),
@@ -341,7 +528,7 @@ mod tests {
     fn quiet_objects_are_ignored() {
         let mut adv = TrafficAdvisor::new(cfg());
         // Below min_calls in the window.
-        let d = adv.decide(2, &[sample(16, 1, &[3, 0])]);
+        let d = adv.decide(&quiet_nodes(2), &[sample(16, 1, &[3, 0])]);
         assert!(d.is_empty());
     }
 
@@ -349,7 +536,10 @@ mod tests {
     fn immutable_objects_replicate_toward_heavy_readers() {
         let mut adv = TrafficAdvisor::new(cfg());
         // Origin on node 0; nodes 1 and 2 both read heavily.
-        let d = adv.decide(3, &[immutable_sample(16, 0, &[1, 40, 20], &[])]);
+        let d = adv.decide(
+            &quiet_nodes(3),
+            &[immutable_sample(16, 0, &[1, 40, 20], &[])],
+        );
         assert_eq!(
             d,
             vec![
@@ -370,14 +560,20 @@ mod tests {
         let mut adv = TrafficAdvisor::new(cfg());
         // Cap is 2 and nodes 1, 2 already hold copies: node 3's heavy reads
         // earn nothing.
-        let d = adv.decide(4, &[immutable_sample(16, 0, &[1, 5, 5, 40], &[1, 2])]);
+        let d = adv.decide(
+            &quiet_nodes(4),
+            &[immutable_sample(16, 0, &[1, 5, 5, 40], &[1, 2])],
+        );
         assert!(d.is_empty(), "replica cap reached: {d:?}");
     }
 
     #[test]
     fn nodes_already_holding_replicas_are_not_reproposed() {
         let mut adv = TrafficAdvisor::new(cfg());
-        let d = adv.decide(3, &[immutable_sample(16, 0, &[1, 40, 40], &[1])]);
+        let d = adv.decide(
+            &quiet_nodes(3),
+            &[immutable_sample(16, 0, &[1, 40, 40], &[1])],
+        );
         assert_eq!(
             d,
             vec![PlacementDecision::Replicate {
@@ -393,7 +589,7 @@ mod tests {
         // Two hot mutable movers exhaust the move budget; the immutable
         // object's replication still goes through on its own budget.
         let d = adv.decide(
-            2,
+            &quiet_nodes(2),
             &[
                 sample(16, 1, &[80, 0]),
                 sample(32, 1, &[60, 0]),
@@ -414,7 +610,7 @@ mod tests {
         let mut c = cfg();
         c.max_replicas_per_tick = 1;
         let mut adv2 = TrafficAdvisor::new(c);
-        let d = adv2.decide(3, std::slice::from_ref(&s));
+        let d = adv2.decide(&quiet_nodes(3), std::slice::from_ref(&s));
         assert_eq!(
             d,
             vec![PlacementDecision::Replicate {
@@ -424,7 +620,7 @@ mod tests {
         );
         // With no load signal the raw call count decides.
         s.queue_depth = vec![0, 0, 0];
-        let d = adv.decide(3, std::slice::from_ref(&s));
+        let d = adv.decide(&quiet_nodes(3), std::slice::from_ref(&s));
         assert_eq!(
             d[0],
             PlacementDecision::Replicate {
@@ -441,7 +637,7 @@ mod tests {
         // it the better target even with fewer calls.
         let mut s = sample(16, 1, &[50, 2, 40]);
         s.queue_depth = vec![9, 0, 0];
-        let d = adv.decide(3, std::slice::from_ref(&s));
+        let d = adv.decide(&quiet_nodes(3), std::slice::from_ref(&s));
         assert_eq!(
             d,
             vec![PlacementDecision::Move {
@@ -452,12 +648,155 @@ mod tests {
     }
 
     #[test]
+    fn scatter_spreads_cold_objects_off_the_dominant_node() {
+        let mut adv = TrafficAdvisor::new(scatter_cfg());
+        // Node 0 holds 6 of 7 objects (86% > 50% trigger); node 1 is near
+        // empty. Two proposals (the budget), both toward node 1.
+        let nodes = [loaded_node(0, 6, 160), loaded_node(1, 1, 960)];
+        let d = adv.decide(&nodes, &[]);
+        assert_eq!(
+            d,
+            vec![
+                PlacementDecision::Scatter {
+                    obj: 160,
+                    to: NodeId(1)
+                },
+                PlacementDecision::Scatter {
+                    obj: 176,
+                    to: NodeId(1)
+                },
+            ]
+        );
+    }
+
+    #[test]
+    fn scatter_disabled_by_default() {
+        let mut adv = TrafficAdvisor::new(cfg());
+        let nodes = [loaded_node(0, 6, 160), loaded_node(1, 0, 960)];
+        assert!(adv.decide(&nodes, &[]).is_empty());
+    }
+
+    #[test]
+    fn scatter_holds_below_the_occupancy_trigger() {
+        let mut adv = TrafficAdvisor::new(scatter_cfg());
+        // 40% share < 50% trigger: balanced enough, leave it alone.
+        let nodes = [
+            loaded_node(0, 4, 160),
+            loaded_node(1, 3, 960),
+            loaded_node(2, 3, 1600),
+        ];
+        assert!(adv.decide(&nodes, &[]).is_empty());
+    }
+
+    #[test]
+    fn scatter_stops_at_fair_share() {
+        let mut c = scatter_cfg();
+        c.max_scatters_per_tick = 8;
+        let mut adv = TrafficAdvisor::new(c);
+        // 4 of 6 on node 0, fair share is 2 per node: shed exactly 2 even
+        // with budget to spare, so targets never overshoot in one tick.
+        let nodes = [
+            loaded_node(0, 4, 160),
+            loaded_node(1, 1, 960),
+            loaded_node(2, 1, 1600),
+        ];
+        let d = adv.decide(&nodes, &[]);
+        assert_eq!(d.len(), 2, "shed to fair share only: {d:?}");
+    }
+
+    #[test]
+    fn scatter_targets_the_emptiest_node_by_inverted_load() {
+        let mut c = scatter_cfg();
+        c.max_scatters_per_tick = 1;
+        let mut adv = TrafficAdvisor::new(c);
+        // Node 1 is busy (calls and queue depth), node 2 idle: the single
+        // scatter goes to node 2 even though both are equally resident.
+        let mut nodes = [
+            loaded_node(0, 6, 160),
+            loaded_node(1, 1, 960),
+            loaded_node(2, 1, 1600),
+        ];
+        nodes[1].calls = 50;
+        nodes[1].queue_depth = 4;
+        let d = adv.decide(&nodes, &[]);
+        assert_eq!(
+            d,
+            vec![PlacementDecision::Scatter {
+                obj: 160,
+                to: NodeId(2)
+            }]
+        );
+    }
+
+    #[test]
+    fn scatter_skips_objects_the_attract_paths_are_watching() {
+        let mut adv = TrafficAdvisor::new(scatter_cfg());
+        // Object 160 shows up in the traffic samples (its group saw calls),
+        // so only 176 and 192 are truly cold and eligible.
+        let nodes = [loaded_node(0, 6, 160), loaded_node(1, 1, 960)];
+        let d = adv.decide(&nodes, &[sample(160, 0, &[4, 0])]);
+        assert_eq!(d.len(), 2);
+        assert!(
+            d.iter()
+                .all(|p| !matches!(p, PlacementDecision::Scatter { obj: 160, .. })),
+            "sampled object scattered: {d:?}"
+        );
+    }
+
+    #[test]
+    fn scatter_respects_cooldown() {
+        let mut c = scatter_cfg();
+        c.max_scatters_per_tick = 1;
+        let mut adv = TrafficAdvisor::new(c);
+        let nodes = [loaded_node(0, 6, 160), loaded_node(1, 1, 960)];
+        let first = adv.decide(&nodes, &[]);
+        assert_eq!(first.len(), 1);
+        // Same picture next tick: the proposed object is cooling down, so
+        // the next candidate goes instead.
+        let second = adv.decide(&nodes, &[]);
+        assert_eq!(second.len(), 1);
+        assert_ne!(first, second, "cooldown ignored");
+    }
+
+    #[test]
+    fn scatter_placement_rate_alone_can_trigger() {
+        let mut adv = TrafficAdvisor::new(scatter_cfg());
+        // Occupancy is balanced, but node 0 took all of this tick's (many)
+        // placements: the rate share trips the same trigger.
+        let mut nodes = [loaded_node(0, 3, 160), loaded_node(1, 3, 960)];
+        nodes[0].placements = 8;
+        let d = adv.decide(&nodes, &[]);
+        assert!(d.is_empty(), "balanced occupancy must not scatter: {d:?}");
+        // Set the trigger out of occupancy's reach (5/8 = 62% < 90%): only
+        // the placement-rate share (8/8 = 100%) can fire, and it does.
+        let mut c = scatter_cfg();
+        c.scatter_share = 0.9;
+        let mut adv = TrafficAdvisor::new(c);
+        let mut nodes = [loaded_node(0, 5, 160), loaded_node(1, 3, 960)];
+        nodes[0].placements = 8;
+        let d = adv.decide(&nodes, &[]);
+        assert_eq!(d.len(), 1, "placement-rate share never triggered: {d:?}");
+    }
+
+    #[test]
     fn replication_cooldown_suppresses_immediate_reproposal() {
         let mut adv = TrafficAdvisor::new(cfg());
         let hot = immutable_sample(16, 0, &[1, 40], &[]);
-        assert_eq!(adv.decide(2, std::slice::from_ref(&hot)).len(), 1);
-        assert!(adv.decide(2, std::slice::from_ref(&hot)).is_empty());
-        assert!(adv.decide(2, std::slice::from_ref(&hot)).is_empty());
-        assert_eq!(adv.decide(2, std::slice::from_ref(&hot)).len(), 1);
+        assert_eq!(
+            adv.decide(&quiet_nodes(2), std::slice::from_ref(&hot))
+                .len(),
+            1
+        );
+        assert!(adv
+            .decide(&quiet_nodes(2), std::slice::from_ref(&hot))
+            .is_empty());
+        assert!(adv
+            .decide(&quiet_nodes(2), std::slice::from_ref(&hot))
+            .is_empty());
+        assert_eq!(
+            adv.decide(&quiet_nodes(2), std::slice::from_ref(&hot))
+                .len(),
+            1
+        );
     }
 }

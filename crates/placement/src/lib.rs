@@ -110,39 +110,71 @@ impl Placer for ProportionalToProcessors {
 ///
 /// The program reports load changes (e.g. one unit per outstanding thread);
 /// placement greedily balances. Shared across threads via `Clone`.
+///
+/// `place` charges one *provisional* unit to the chosen node so a burst of
+/// placements between reports still spreads out. When the program later
+/// reports the real load for that node (e.g. the thread it started there),
+/// the report *replaces* the provisional guess rather than stacking on top
+/// of it — otherwise every place/report pair inflated the node's estimate
+/// by one forever and the placer drifted toward whichever nodes were never
+/// reported on.
 #[derive(Clone)]
 pub struct LeastLoaded {
-    loads: Arc<Mutex<Vec<i64>>>,
+    loads: Arc<Mutex<LoadTable>>,
+}
+
+/// Reported load and not-yet-confirmed placement credit, per node.
+struct LoadTable {
+    reported: Vec<i64>,
+    provisional: Vec<i64>,
 }
 
 impl LeastLoaded {
     /// Creates a tracker for `nodes` nodes, all idle.
     pub fn new(nodes: usize) -> LeastLoaded {
         LeastLoaded {
-            loads: Arc::new(Mutex::new(vec![0; nodes])),
+            loads: Arc::new(Mutex::new(LoadTable {
+                reported: vec![0; nodes],
+                provisional: vec![0; nodes],
+            })),
         }
     }
 
     /// Reports a load delta for `node` (positive = busier).
+    ///
+    /// A positive report folds away up to `delta` units of outstanding
+    /// provisional credit on the node: the report is the ground truth for
+    /// work the provisional charge was predicting, so keeping both would
+    /// double-count it.
     pub fn report(&self, node: NodeId, delta: i64) {
-        self.loads.lock()[node.index()] += delta;
+        let mut t = self.loads.lock();
+        let i = node.index();
+        if delta > 0 {
+            let folded = delta.min(t.provisional[i]);
+            t.provisional[i] -= folded;
+        }
+        t.reported[i] += delta;
     }
 
-    /// The current load estimate for `node`.
+    /// The current load estimate for `node` (reported plus provisional).
     pub fn load_of(&self, node: NodeId) -> i64 {
-        self.loads.lock()[node.index()]
+        let t = self.loads.lock();
+        t.reported[node.index()] + t.provisional[node.index()]
     }
 }
 
 impl Placer for LeastLoaded {
     fn place(&mut self, _ctx: &Ctx) -> NodeId {
-        let mut loads = self.loads.lock();
-        let (best, _) = loads
+        let mut t = self.loads.lock();
+        let (best, _) = t
+            .reported
             .iter()
+            .zip(&t.provisional)
+            .map(|(r, p)| r + p)
             .enumerate()
-            .min_by_key(|(_, l)| **l)
+            .min_by_key(|(_, l)| *l)
             .expect("at least one node");
-        loads[best] += 1; // provisional: one unit per placed object
+        t.provisional[best] += 1; // one unit per placed object, until reported
         NodeId::from(best)
     }
 }
@@ -315,6 +347,56 @@ mod tests {
             for o in &objs {
                 assert_ne!(ctx.locate(o), NodeId(0), "placed on the busy node");
             }
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn least_loaded_place_report_cycles_converge() {
+        let c = Cluster::sim(2, 1);
+        c.run(|ctx| {
+            let p = LeastLoaded::new(2);
+            // Steady state: place an object, then report the one unit of
+            // real load it produced. The report must absorb the provisional
+            // charge from `place`, so the estimate tracks the real load
+            // (i per node after i cycles) instead of inflating by two per
+            // cycle and drowning out genuine load reports.
+            let mut shared = p.clone();
+            for i in 1..=8i64 {
+                let a = shared.place(ctx);
+                p.report(a, 1);
+                let b = shared.place(ctx);
+                p.report(b, 1);
+                assert_ne!(a, b, "alternate under balanced load");
+                assert_eq!(p.load_of(NodeId(0)), i);
+                assert_eq!(p.load_of(NodeId(1)), i);
+            }
+            // The work drains; the estimate returns to idle exactly.
+            for _ in 0..8 {
+                p.report(NodeId(0), -1);
+                p.report(NodeId(1), -1);
+            }
+            assert_eq!(p.load_of(NodeId(0)), 0);
+            assert_eq!(p.load_of(NodeId(1)), 0);
+        })
+        .unwrap();
+    }
+
+    #[test]
+    fn least_loaded_keeps_unreported_provisional_credit() {
+        let c = Cluster::sim(2, 1);
+        c.run(|ctx| {
+            let mut p = LeastLoaded::new(2);
+            // Two placements with no reports: both provisional units stay,
+            // so the burst alternates rather than piling onto node 0.
+            let a = p.place(ctx);
+            let b = p.place(ctx);
+            assert_ne!(a, b);
+            assert_eq!(p.load_of(a), 1);
+            // A report larger than the outstanding credit folds only what
+            // exists and books the rest as real load.
+            p.report(a, 3);
+            assert_eq!(p.load_of(a), 3);
         })
         .unwrap();
     }

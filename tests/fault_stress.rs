@@ -19,12 +19,21 @@
 //! always replays the same drops, duplicates and retransmissions.
 
 use amber_core::{Cluster, EngineChoice, FaultPlan, NodeId, SimTime, TraceSummary};
+use amber_placement::adaptive::{AdaptiveConfig, TrafficAdvisor};
 
 fn fault_seed() -> u64 {
     std::env::var("AMBER_FAULT_SEED")
         .ok()
         .and_then(|s| s.parse().ok())
         .unwrap_or(0xA3BE)
+}
+
+/// `AMBER_SCATTER=1` layers an aggressively-tuned scatter advisor over the
+/// chaos runs, so one fault-matrix seed exercises advisory scatters racing
+/// drops, duplicates and the partition. The exact-accounting assertions in
+/// [`reconcile`] are unchanged: scatter must stay behaviorally invisible.
+fn scatter_enabled() -> bool {
+    std::env::var("AMBER_SCATTER").is_ok_and(|v| v == "1")
 }
 
 /// 5% drops, 2% duplicates, and a 0<->1 partition that heals at 25ms.
@@ -41,12 +50,23 @@ fn chaos_plan() -> FaultPlan {
 }
 
 fn lossy_cluster(nodes: usize, procs: usize) -> Cluster {
-    Cluster::builder()
+    let mut b = Cluster::builder()
         .nodes(nodes)
         .processors(procs)
         .engine(EngineChoice::Sim)
-        .faults(chaos_plan())
-        .build()
+        .faults(chaos_plan());
+    if scatter_enabled() {
+        b = b.adaptive_placement(|| {
+            TrafficAdvisor::new(AdaptiveConfig {
+                tick: SimTime::from_ms(10),
+                min_calls: 2,
+                scatter_share: 0.3,
+                max_scatters_per_tick: 4,
+                ..AdaptiveConfig::default()
+            })
+        });
+    }
+    b.build()
 }
 
 /// Reconciles the captured trace against the live counters, exactly.

@@ -157,6 +157,59 @@ fn destroyed_references_error_on_real_threads() {
 }
 
 #[test]
+fn destroy_races_are_typed_errors_on_real_threads() {
+    // Genuine OS-thread concurrency: destroyers race invokers and each
+    // other across the cluster. Every outcome must be a typed result —
+    // `Ok`, `ObjectDestroyed`, or `ObjectBusy` — never a process abort,
+    // and exactly one destroyer wins each object.
+    let c = real_cluster(2, 2);
+    let (wins, total) = c
+        .run(|ctx| {
+            let mut wins = 0usize;
+            let mut total = 0usize;
+            for round in 0..8u64 {
+                let target = ctx.create_on(NodeId((round % 2) as u16), round);
+                let anchor = ctx.create_on(NodeId(1), 0u8);
+                let invoker = ctx.start(&anchor, move |ctx, _| {
+                    // Races the destroy below; either it ran first or it
+                    // observed the typed error.
+                    match ctx.try_invoke(&target, |_, n| *n += 1) {
+                        Ok(()) => true,
+                        Err(amber_core::ProtocolError::ObjectDestroyed(_)) => false,
+                        Err(e) => panic!("unexpected invoke error: {e}"),
+                    }
+                });
+                let other = ctx.create_on(NodeId(1), 0u8);
+                let destroyer = ctx.start(&other, move |ctx, _| {
+                    matches!(ctx.try_destroy(target), Ok(()))
+                });
+                let mine = loop {
+                    // Busy just means the invoker held the object at that
+                    // instant; retry until the race resolves.
+                    match ctx.try_destroy(target) {
+                        Ok(()) => break true,
+                        Err(amber_core::ProtocolError::ObjectDestroyed(_)) => break false,
+                        Err(amber_core::ProtocolError::ObjectBusy(_)) => continue,
+                        Err(e) => panic!("unexpected destroy error: {e}"),
+                    }
+                };
+                invoker.join(ctx);
+                let theirs = destroyer.join(ctx);
+                assert!(
+                    mine ^ theirs,
+                    "round {round}: exactly one destroyer must win"
+                );
+                wins += usize::from(mine);
+                total += 1;
+            }
+            (wins, total)
+        })
+        .unwrap();
+    assert_eq!(total, 8);
+    assert!(wins <= total);
+}
+
+#[test]
 fn adaptive_placement_localizes_skewed_traffic_on_real_threads() {
     use amber_placement::adaptive::{AdaptiveConfig, TrafficAdvisor};
 
