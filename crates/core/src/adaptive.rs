@@ -37,6 +37,7 @@ use amber_vspace::VAddr;
 use parking_lot::Mutex;
 
 use crate::kernel::Kernel;
+use crate::mobility::AdvisoryKind;
 use crate::stats::ProtocolStats;
 
 /// One object's (or attachment group's) traffic over the last placement
@@ -517,15 +518,15 @@ impl Kernel {
             })
             .collect();
 
+        // Successful advisories count and trace *inside* the kernel, at the
+        // claim point under the shard locks (so the event stream stays
+        // linearized against destroys); only the skip bookkeeping lives
+        // here.
         let decisions = p.policy.lock().decide(&node_samples, &samples);
         for d in decisions {
             match d {
-                PlacementDecision::Move { obj, to } => match self.advisory_move(VAddr(obj), to) {
-                    Ok(from) => {
-                        ProtocolStats::bump(&self.pstats.advisory_moves);
-                        self.trace(|| ProtocolEvent::AdvisoryMove { obj, from, to });
-                    }
-                    Err(reason) => {
+                PlacementDecision::Move { obj, to } => {
+                    if let Err(reason) = self.advisory_move(VAddr(obj), to, AdvisoryKind::Move) {
                         ProtocolStats::bump(&self.pstats.advisory_skips);
                         self.trace(|| ProtocolEvent::AdvisorySkipped {
                             obj,
@@ -533,21 +534,15 @@ impl Kernel {
                             reason,
                         });
                     }
-                },
+                }
                 PlacementDecision::Replicate { obj, to } => {
-                    match self.advisory_replicate(VAddr(obj), to) {
-                        Ok(from) => {
-                            ProtocolStats::bump(&self.pstats.advisory_replications);
-                            self.trace(|| ProtocolEvent::AdvisoryReplicate { obj, from, to });
-                        }
-                        Err(reason) => {
-                            ProtocolStats::bump(&self.pstats.advisory_skips);
-                            self.trace(|| ProtocolEvent::AdvisorySkipped {
-                                obj,
-                                at: to,
-                                reason,
-                            });
-                        }
+                    if let Err(reason) = self.advisory_replicate(VAddr(obj), to) {
+                        ProtocolStats::bump(&self.pstats.advisory_skips);
+                        self.trace(|| ProtocolEvent::AdvisorySkipped {
+                            obj,
+                            at: to,
+                            reason,
+                        });
                     }
                 }
                 // Scatter shares `advisory_move`'s whole safety contract
@@ -562,21 +557,15 @@ impl Kernel {
                             at: to,
                             reason: "scatter-disabled",
                         });
-                    } else {
-                        match self.advisory_move(VAddr(obj), to) {
-                            Ok(from) => {
-                                ProtocolStats::bump(&self.pstats.advisory_scatters);
-                                self.trace(|| ProtocolEvent::AdvisoryScatter { obj, from, to });
-                            }
-                            Err(reason) => {
-                                ProtocolStats::bump(&self.pstats.advisory_skips);
-                                self.trace(|| ProtocolEvent::AdvisorySkipped {
-                                    obj,
-                                    at: to,
-                                    reason,
-                                });
-                            }
-                        }
+                    } else if let Err(reason) =
+                        self.advisory_move(VAddr(obj), to, AdvisoryKind::Scatter)
+                    {
+                        ProtocolStats::bump(&self.pstats.advisory_skips);
+                        self.trace(|| ProtocolEvent::AdvisorySkipped {
+                            obj,
+                            at: to,
+                            reason,
+                        });
                     }
                 }
             }

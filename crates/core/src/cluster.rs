@@ -259,13 +259,24 @@ impl ClusterBuilder {
             self.locate_fastpath,
             self.scatter,
         );
-        Cluster { kernel }
+        let verifier = Arc::new(crate::verifysink::VerifyingSink::new());
+        if amber_verify::ACTIVE {
+            // With the runtime checkers live, the verifying sink is the
+            // engine's trace sink for the cluster's whole lifetime so the
+            // lifecycle linter observes every protocol event; the public
+            // tracing API below swaps the sink *inside* it instead.
+            kernel.engine.tracer().install(verifier.clone());
+        }
+        Cluster { kernel, verifier }
     }
 }
 
 /// A network of multiprocessor nodes running one Amber program.
 pub struct Cluster {
     kernel: Arc<Kernel>,
+    /// Lifecycle-linting tee; installed as the tracer sink only when
+    /// [`amber_verify::ACTIVE`] (the `verify` feature or a debug build).
+    verifier: Arc<crate::verifysink::VerifyingSink>,
 }
 
 impl Cluster {
@@ -360,19 +371,31 @@ impl Cluster {
     /// ```
     pub fn enable_tracing(&self) -> Arc<amber_engine::MemorySink> {
         let sink = amber_engine::MemorySink::new();
-        self.kernel.engine.tracer().install(sink.clone());
+        if amber_verify::ACTIVE {
+            self.verifier.set_inner(Some(sink.clone()));
+        } else {
+            self.kernel.engine.tracer().install(sink.clone());
+        }
         sink
     }
 
     /// Installs a custom [`amber_engine::TraceSink`] (replacing any
     /// previous sink).
     pub fn set_trace_sink(&self, sink: Arc<dyn amber_engine::TraceSink>) {
-        self.kernel.engine.tracer().install(sink);
+        if amber_verify::ACTIVE {
+            self.verifier.set_inner(Some(sink));
+        } else {
+            self.kernel.engine.tracer().install(sink);
+        }
     }
 
     /// Stops tracing; returns the previously installed sink, if any.
     pub fn disable_tracing(&self) -> Option<Arc<dyn amber_engine::TraceSink>> {
-        self.kernel.engine.tracer().uninstall()
+        if amber_verify::ACTIVE {
+            self.verifier.set_inner(None)
+        } else {
+            self.kernel.engine.tracer().uninstall()
+        }
     }
 
     /// Debug dump of every object's admission state:

@@ -30,6 +30,7 @@ use std::sync::atomic::{AtomicU32, AtomicU64};
 use std::sync::Arc;
 
 use amber_engine::{must_current_thread, CostModel, Engine, NodeId, SimTime, ThreadId};
+use amber_verify::{LockLevel, OrderedMutex, OrderedRwLock};
 use amber_vspace::{AddressSpaceServer, DescriptorTable, HeapError, NodeHeap, RegionMap, VAddr};
 use parking_lot::{Mutex, RwLock};
 
@@ -146,7 +147,9 @@ pub(crate) struct NodeKernel {
     /// Residency descriptors. Read-mostly: every invoke and residency
     /// re-check takes the read lock; only mobility transitions (create,
     /// move, replicate, destroy, hint refresh) take the write lock.
-    pub(crate) descriptors: RwLock<DescriptorTable>,
+    /// Order-checked at `LockLevel::DescriptorTable(node)` — the last tier
+    /// of the lock hierarchy, legal to take while holding registry shards.
+    pub(crate) descriptors: OrderedRwLock<DescriptorTable>,
     pub(crate) heap: Mutex<NodeHeap>,
     pub(crate) regions: Mutex<RegionMap>,
     /// Replications in flight to this node: address -> threads parked until
@@ -167,8 +170,9 @@ pub struct Kernel {
     /// and the computation+claim of a move's attachment group, so a group
     /// cannot change shape while its `moving` flags are being claimed.
     /// Never held across an engine block, and never acquired while holding
-    /// a registry shard.
-    pub(crate) topology: Mutex<()>,
+    /// a registry shard — enforced at `LockLevel::Topology`, the first tier
+    /// of the machine-checked lock hierarchy.
+    pub(crate) topology: OrderedMutex<()>,
     pub(crate) pstats: ProtocolStats,
     /// Adaptive placement state (policy, tick arming, daemon handle); `None`
     /// when the cluster was built without a placement policy.
@@ -217,7 +221,10 @@ impl Kernel {
                 let mut regions = RegionMap::new();
                 regions.learn(region, node);
                 NodeKernel {
-                    descriptors: RwLock::new(DescriptorTable::new()),
+                    descriptors: OrderedRwLock::new(
+                        LockLevel::DescriptorTable(i),
+                        DescriptorTable::new(),
+                    ),
                     heap: Mutex::new(heap),
                     regions: Mutex::new(regions),
                     replicating: Mutex::new(HashMap::new()),
@@ -231,7 +238,7 @@ impl Kernel {
             nodes,
             server: Mutex::new(server),
             threads: ThreadRegistry::new(),
-            topology: Mutex::new(()),
+            topology: OrderedMutex::new(LockLevel::Topology, ()),
             pstats: ProtocolStats::default(),
             placement: policy.map(|p| PlacementRuntime::new(p, n)),
             demand_replication,
@@ -362,11 +369,17 @@ impl Kernel {
             .descriptors
             .write()
             .set_resident(addr);
-        let prev = self.objects.lock(addr).insert(addr, entry);
-        debug_assert!(prev.is_none(), "heap handed out a live address");
-        ProtocolStats::bump(&self.pstats.creates);
+        // Emission under the shard lock keeps the trace stream linearized
+        // with the registry transition: no destroy of a reused address can
+        // slot its event between our insert and our ObjectCreate.
+        {
+            let mut shard = self.objects.lock(addr);
+            let prev = shard.insert(addr, entry);
+            debug_assert!(prev.is_none(), "heap handed out a live address");
+            ProtocolStats::bump(&self.pstats.creates);
+            self.trace(|| amber_engine::ProtocolEvent::ObjectCreate { obj: addr.0, node });
+        }
         self.note_placement_activity(node);
-        self.trace(|| amber_engine::ProtocolEvent::ObjectCreate { obj: addr.0, node });
         ObjRef::from_addr(addr)
     }
 
@@ -391,11 +404,16 @@ impl Kernel {
             .descriptors
             .write()
             .set_resident(addr);
-        let prev = self.objects.lock(addr).insert(addr, entry);
-        debug_assert!(prev.is_none(), "heap handed out a live address");
-        ProtocolStats::bump(&self.pstats.creates);
+        // See `create_local` for why the event is emitted under the shard
+        // lock.
+        {
+            let mut shard = self.objects.lock(addr);
+            let prev = shard.insert(addr, entry);
+            debug_assert!(prev.is_none(), "heap handed out a live address");
+            ProtocolStats::bump(&self.pstats.creates);
+            self.trace(|| amber_engine::ProtocolEvent::ObjectCreate { obj: addr.0, node });
+        }
         self.note_placement_activity(node);
-        self.trace(|| amber_engine::ProtocolEvent::ObjectCreate { obj: addr.0, node });
         self.one_way(node, from, self.cost.control_packet_bytes, "create-reply");
         ObjRef::from_addr(addr)
     }
@@ -412,6 +430,7 @@ impl Kernel {
     /// happen under one shard lock, so exactly one of two racing destroyers
     /// wins and the loser gets a deterministic `Err`.
     pub(crate) fn destroy(&self, addr: VAddr) -> Result<(), ProtocolError> {
+        let me = self.current_node();
         let entry = {
             let mut shard = self.objects.lock(addr);
             let Some(e) = shard.remove(&addr) else {
@@ -429,9 +448,16 @@ impl Kernel {
                 shard.insert(addr, e);
                 return Err(ProtocolError::ObjectBusy(addr));
             }
+            // Emit under the same shard lock that committed the removal:
+            // once the heap block is freed below, the address can be reused
+            // and its ObjectCreate must serialize *after* this event.
+            ProtocolStats::bump(&self.pstats.destroys);
+            self.trace(|| amber_engine::ProtocolEvent::ObjectDestroy {
+                obj: addr.0,
+                node: me,
+            });
             e
         };
-        let me = self.current_node();
         // Clear the address on *every* node, not just here/location/home:
         // replicas (demand- or advisor-installed) and cached forwarding
         // hints may live anywhere, and a stale `Replica` descriptor would
@@ -442,14 +468,16 @@ impl Kernel {
         // The registry entry was removed atomically above, so exactly one
         // destroyer reaches this free; a failure would mean heap-metadata
         // corruption, which the free-pool scan already self-heals, so the
-        // result is advisory rather than a panic edge.
+        // result is counted and traced rather than a panic edge (visible in
+        // release builds instead of vanishing with `debug_assert!`).
         let freed = self.nodes[entry.home.index()].heap.lock().free(addr);
-        debug_assert!(freed.is_ok(), "destroying object whose block is not live");
-        ProtocolStats::bump(&self.pstats.destroys);
-        self.trace(|| amber_engine::ProtocolEvent::ObjectDestroy {
-            obj: addr.0,
-            node: me,
-        });
+        if freed.is_err() {
+            ProtocolStats::bump(&self.pstats.heap_free_anomalies);
+            self.trace(|| amber_engine::ProtocolEvent::HeapFreeAnomaly {
+                obj: addr.0,
+                node: entry.home,
+            });
+        }
         Ok(())
     }
 

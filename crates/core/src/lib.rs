@@ -43,6 +43,7 @@
 //! ```
 
 #![warn(missing_docs)]
+#![deny(unsafe_op_in_unsafe_fn)]
 
 mod adaptive;
 mod cluster;
@@ -54,6 +55,7 @@ mod objref;
 mod registry;
 mod stats;
 mod thread;
+mod verifysink;
 
 pub use adaptive::{NodeSample, PlacementDecision, PlacementPolicy, PlacementSample};
 pub use cluster::{Cluster, ClusterBuilder, Ctx, EngineChoice};

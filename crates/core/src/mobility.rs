@@ -34,6 +34,15 @@ use crate::invoke::MAX_CHASE_HOPS;
 use crate::kernel::Kernel;
 use crate::stats::ProtocolStats;
 
+/// Which advisory asked for a group move: a traffic-driven `Move` toward
+/// the dominant caller, or an occupancy-driven `Scatter` off a crowded
+/// node. Decides which counter/event the kernel emits at the claim point.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub(crate) enum AdvisoryKind {
+    Move,
+    Scatter,
+}
+
 impl Kernel {
     /// The attachment closure rooted at `addr`: the object plus everything
     /// transitively attached to it, in deterministic BFS order (the order
@@ -162,15 +171,23 @@ impl Kernel {
     }
 
     /// Executes a placement advisory: a one-shot, never-parking group move
-    /// of `addr` to `dest`. Returns the source node on success, or the
-    /// reason the kernel declined — the advisor's proposals are best-effort
-    /// and simply skipped when the object is pinned, mid-move, attached (a
-    /// non-root), immutable, destroyed, or already at `dest`.
+    /// of `addr` to `dest`. Returns the reason the kernel declined on a
+    /// skip — the advisor's proposals are best-effort and simply skipped
+    /// when the object is pinned, mid-move, attached (a non-root),
+    /// immutable, destroyed, or already at `dest`. The advisory counter and
+    /// trace event for `kind` are emitted at the claim point, under the
+    /// group's shard locks, so the event stream cannot show an advisory for
+    /// an object that was already destroyed.
     ///
     /// Unlike [`move_object`](Kernel::move_object), a busy group is a skip,
     /// not a wait: the placement daemon must never park on user-driven
     /// moves, and a mid-move object will be re-scored on a later tick.
-    pub(crate) fn advisory_move(&self, addr: VAddr, dest: NodeId) -> Result<NodeId, &'static str> {
+    pub(crate) fn advisory_move(
+        &self,
+        addr: VAddr,
+        dest: NodeId,
+        kind: AdvisoryKind,
+    ) -> Result<(), &'static str> {
         if dest.index() >= self.nodes.len() {
             return Err("no-such-node");
         }
@@ -209,12 +226,33 @@ impl Kernel {
             for a in &group {
                 shards.get_mut(*a).expect("checked above").moving = true;
             }
+            // The claim committed: count and trace the advisory while the
+            // group is still locked, so no destroy can slot its event
+            // before this one.
+            match kind {
+                AdvisoryKind::Move => {
+                    ProtocolStats::bump(&self.pstats.advisory_moves);
+                    self.trace(|| amber_engine::ProtocolEvent::AdvisoryMove {
+                        obj: addr.0,
+                        from: root,
+                        to: dest,
+                    });
+                }
+                AdvisoryKind::Scatter => {
+                    ProtocolStats::bump(&self.pstats.advisory_scatters);
+                    self.trace(|| amber_engine::ProtocolEvent::AdvisoryScatter {
+                        obj: addr.0,
+                        from: root,
+                        to: dest,
+                    });
+                }
+            }
             drop(shards);
             drop(topo);
             (root, group)
         };
         self.transfer_group(addr, source, dest, &group);
-        Ok(source)
+        Ok(())
     }
 
     /// The transfer half of a move: descriptors flip to forwarding before
@@ -293,6 +331,13 @@ impl Kernel {
                     .get_mut(*a)
                     .expect("attached object vanished")
                     .location = dest;
+                // Every member (root included) marks its arrival while the
+                // group is locked: the event precedes any observation of
+                // the new location, so a hint repaired toward `dest` can
+                // never appear in the trace before the install that made
+                // `dest` a legitimate host.
+                ProtocolStats::bump(&self.pstats.move_installs);
+                self.trace(|| amber_engine::ProtocolEvent::MoveInstalled { obj: a.0, to: dest });
             }
             drop(shards);
             let mut d = self.nodes[dest.index()].descriptors.write();
@@ -360,6 +405,21 @@ impl Kernel {
         self.replicate_install(addr, node)
     }
 
+    /// Releases the in-flight replication claim for `(addr, node)` and
+    /// wakes every reader parked on it. Claim owners call this on every
+    /// exit path (successful install, destroyed mid-transfer, or a declined
+    /// advisory that had already claimed the slot).
+    fn release_replication_claim(&self, addr: VAddr, node: NodeId) {
+        let waiters = self.nodes[node.index()]
+            .replicating
+            .lock()
+            .remove(&addr)
+            .unwrap_or_default();
+        for t in waiters {
+            self.engine.unblock_kernel(t);
+        }
+    }
+
     /// The transfer half of replication. The caller owns the in-flight
     /// claim in `node`'s `replicating` map; this always releases it and
     /// wakes parked waiters, on both the success and the destroyed path.
@@ -373,18 +433,8 @@ impl Kernel {
                 (e.location, e.size)
             })
         };
-        let release = |this: &Kernel| {
-            let waiters = this.nodes[node.index()]
-                .replicating
-                .lock()
-                .remove(&addr)
-                .unwrap_or_default();
-            for t in waiters {
-                this.engine.unblock_kernel(t);
-            }
-        };
         let Some((location, _)) = lookup(true) else {
-            release(self);
+            self.release_replication_claim(addr, node);
             return Err(ProtocolError::ObjectDestroyed(addr));
         };
         // Request/response with the holder: a control request, then the
@@ -402,7 +452,7 @@ impl Kernel {
         // the copy impossible. Re-check liveness at this block point rather
         // than trusting the pre-send read.
         let Some((_, size)) = lookup(false) else {
-            release(self);
+            self.release_replication_claim(addr, node);
             return Err(ProtocolError::ObjectDestroyed(addr));
         };
         self.one_way(location, node, size, "replica-data");
@@ -413,59 +463,59 @@ impl Kernel {
             self.one_way(node, my_node, self.cost.control_packet_bytes, "replica-ack");
         }
         self.engine.work(self.cost.move_install);
-        self.nodes[node.index()]
-            .descriptors
-            .write()
-            .set_replica(addr);
-        // A fresh replica starts warm: reset its eviction tick-stamp.
-        if let Some(e) = self.objects.lock(addr).get(&addr) {
+        // Install under one shard visit: liveness check, descriptor write,
+        // stamp reset and the Replication event all commit atomically with
+        // respect to a racing destroy. (Previously the descriptor was
+        // written outside the shard lock, so a destroy interleaving here
+        // could leave a stale `Replica` descriptor aliasing the next object
+        // the heap hands out at this address.)
+        {
+            let shard = self.objects.lock(addr);
+            let Some(e) = shard.get(&addr) else {
+                drop(shard);
+                self.release_replication_claim(addr, node);
+                return Err(ProtocolError::ObjectDestroyed(addr));
+            };
+            self.nodes[node.index()]
+                .descriptors
+                .write()
+                .set_replica(addr);
+            // A fresh replica starts warm: reset its eviction tick-stamp.
             if let Some(stamp) = e.replica_idle.get(node.index()) {
                 stamp.store(0, std::sync::atomic::Ordering::Relaxed);
             }
+            ProtocolStats::bump(&self.pstats.replications);
+            self.trace(|| amber_engine::ProtocolEvent::Replication {
+                obj: addr.0,
+                from: location,
+                to: node,
+                bytes: size,
+            });
         }
-        ProtocolStats::bump(&self.pstats.replications);
-        self.trace(|| amber_engine::ProtocolEvent::Replication {
-            obj: addr.0,
-            from: location,
-            to: node,
-            bytes: size,
-        });
-        release(self);
+        self.release_replication_claim(addr, node);
         Ok(location)
     }
 
     /// Executes a replication advisory: a one-shot, never-parking replica
-    /// install of immutable object `addr` on `dest`. Returns the node the
-    /// copy came from on success, or the reason the kernel declined — like
+    /// install of immutable object `addr` on `dest`. Returns the reason the
+    /// kernel declined on a skip — like
     /// [`advisory_move`](Kernel::advisory_move), proposals are best-effort
-    /// and a declined one costs one skip event.
+    /// and a declined one costs one skip event. The advisory counter and
+    /// trace event are emitted at the claim point, under the shard lock, so
+    /// the event stream cannot show an advisory for a destroyed object; a
+    /// destroy racing the transfer after that point is a benign failed
+    /// install, not a skip.
     ///
     /// Where a plain reader parks on an in-flight install, the placement
     /// daemon skips (`mid-install`): the replica is arriving anyway, and the
     /// daemon must never park on user-driven traffic.
-    pub(crate) fn advisory_replicate(
-        &self,
-        addr: VAddr,
-        dest: NodeId,
-    ) -> Result<NodeId, &'static str> {
+    pub(crate) fn advisory_replicate(&self, addr: VAddr, dest: NodeId) -> Result<(), &'static str> {
         if dest.index() >= self.nodes.len() {
             return Err("no-such-node");
         }
-        {
-            let shard = self.objects.lock(addr);
-            let Some(e) = shard.get(&addr) else {
-                return Err("destroyed");
-            };
-            if !e.immutable {
-                return Err("not-immutable");
-            }
-            if e.moving {
-                return Err("mid-move");
-            }
-            if e.location == dest {
-                return Err("already-there");
-            }
-        }
+        // Claim the in-flight slot before the object-state gates, so the
+        // gates and the advisory event below cannot race another install
+        // starting at `dest`.
         {
             let mut inflight = self.nodes[dest.index()].replicating.lock();
             if inflight.contains_key(&addr) {
@@ -476,7 +526,36 @@ impl Kernel {
             }
             inflight.insert(addr, Vec::new());
         }
-        self.replicate_install(addr, dest).map_err(|_| "destroyed")
+        let gate: Result<(), &'static str> = {
+            let shard = self.objects.lock(addr);
+            match shard.get(&addr) {
+                None => Err("destroyed"),
+                Some(e) if !e.immutable => Err("not-immutable"),
+                Some(e) if e.moving => Err("mid-move"),
+                Some(e) if e.location == dest => Err("already-there"),
+                Some(e) => {
+                    // The advisory is committed: count and trace it while
+                    // the object is provably live under the shard lock.
+                    let from = e.location;
+                    ProtocolStats::bump(&self.pstats.advisory_replications);
+                    self.trace(|| amber_engine::ProtocolEvent::AdvisoryReplicate {
+                        obj: addr.0,
+                        from,
+                        to: dest,
+                    });
+                    Ok(())
+                }
+            }
+        };
+        if let Err(reason) = gate {
+            self.release_replication_claim(addr, dest);
+            return Err(reason);
+        }
+        // The claim transfers to `replicate_install`, which always releases
+        // it; a destroy winning the race mid-transfer fails the install
+        // quietly (the advisory itself already counted).
+        let _ = self.replicate_install(addr, dest);
+        Ok(())
     }
 
     /// Ages out a cold replica: flips `node`'s descriptor for immutable
@@ -487,16 +566,10 @@ impl Kernel {
     /// advisory: returns `false` without touching anything if the object is
     /// gone, mid-move, mid-install, co-resident, or no longer a replica.
     pub(crate) fn evict_replica(&self, addr: VAddr, node: NodeId) -> bool {
-        let location = {
-            let shard = self.objects.lock(addr);
-            let Some(e) = shard.get(&addr) else {
-                return false;
-            };
-            if e.moving || !e.immutable || e.location == node {
-                return false;
-            }
-            e.location
-        };
+        // An in-flight install both owns the descriptor and proves the
+        // replica is warm; leave it alone. (A claim starting after this
+        // check blocks on the shard lock below until the evict commits,
+        // then re-installs — a legal evict/install sequence.)
         if self.nodes[node.index()]
             .replicating
             .lock()
@@ -504,6 +577,18 @@ impl Kernel {
         {
             return false;
         }
+        // One shard visit covers the liveness gates, the descriptor flip,
+        // the stamp reset and the event: a destroy cannot interleave and
+        // see its cleared descriptor re-forwarded (which would alias the
+        // next object the heap hands out at this address).
+        let shard = self.objects.lock(addr);
+        let Some(e) = shard.get(&addr) else {
+            return false;
+        };
+        if e.moving || !e.immutable || e.location == node {
+            return false;
+        }
+        let location = e.location;
         {
             let mut d = self.nodes[node.index()].descriptors.write();
             if !matches!(d.lookup(addr), Some(Residency::Replica)) {
@@ -511,10 +596,8 @@ impl Kernel {
             }
             d.set_forward(addr, location);
         }
-        if let Some(e) = self.objects.lock(addr).get(&addr) {
-            if let Some(stamp) = e.replica_idle.get(node.index()) {
-                stamp.store(0, std::sync::atomic::Ordering::Relaxed);
-            }
+        if let Some(stamp) = e.replica_idle.get(node.index()) {
+            stamp.store(0, std::sync::atomic::Ordering::Relaxed);
         }
         ProtocolStats::bump(&self.pstats.replica_evictions);
         self.trace(|| amber_engine::ProtocolEvent::ReplicaEvicted { obj: addr.0, node });

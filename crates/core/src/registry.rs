@@ -30,8 +30,9 @@ use std::collections::HashMap;
 use std::sync::Arc;
 
 use amber_engine::ThreadId;
+use amber_verify::{LockLevel, OrderedMutex, OrderedMutexGuard};
 use amber_vspace::VAddr;
-use parking_lot::{Mutex, MutexGuard};
+use parking_lot::Mutex;
 
 use crate::kernel::ObjectEntry;
 
@@ -69,7 +70,11 @@ pub(crate) fn shard_of(addr: VAddr) -> usize {
     ((a ^ (a >> 9) ^ (a >> 17)) as usize) & (OBJ_SHARDS - 1)
 }
 
-type ObjectShard = Mutex<HashMap<VAddr, ObjectEntry>>;
+/// Shard locks are order-checked under `amber-verify`: every shard carries
+/// `LockLevel::RegistryShard(index)`, so a misordered multi-shard
+/// acquisition (or a shard taken while a descriptor table is held) is
+/// reported rather than silently risking deadlock.
+type ObjectShard = OrderedMutex<HashMap<VAddr, ObjectEntry>>;
 
 /// The cluster-wide object registry, sharded by address.
 pub(crate) struct ObjectRegistry {
@@ -80,14 +85,19 @@ impl ObjectRegistry {
     pub(crate) fn new() -> ObjectRegistry {
         ObjectRegistry {
             shards: (0..OBJ_SHARDS)
-                .map(|_| CachePadded(Mutex::new(HashMap::new())))
+                .map(|i| {
+                    CachePadded(OrderedMutex::new(
+                        LockLevel::RegistryShard(i),
+                        HashMap::new(),
+                    ))
+                })
                 .collect(),
         }
     }
 
     /// Locks the single shard holding `addr`. The fast-path acquisition:
     /// one uncontended-unless-colliding mutex, never the whole registry.
-    pub(crate) fn lock(&self, addr: VAddr) -> MutexGuard<'_, HashMap<VAddr, ObjectEntry>> {
+    pub(crate) fn lock(&self, addr: VAddr) -> OrderedMutexGuard<'_, HashMap<VAddr, ObjectEntry>> {
         self.shards[shard_of(addr)].0.lock()
     }
 
@@ -122,7 +132,7 @@ impl ObjectRegistry {
 /// of an address set, held at once, acquired in ascending index order.
 pub(crate) struct GroupGuard<'a> {
     /// `(shard index, guard)`, sorted ascending by index.
-    guards: Vec<(usize, MutexGuard<'a, HashMap<VAddr, ObjectEntry>>)>,
+    guards: Vec<(usize, OrderedMutexGuard<'a, HashMap<VAddr, ObjectEntry>>)>,
 }
 
 impl GroupGuard<'_> {

@@ -60,6 +60,14 @@ pub struct ProtocolStats {
     /// Advisor-installed replicas aged out after going unread for the
     /// configured number of placement ticks.
     pub replica_evictions: AtomicU64,
+    /// Group members whose registry entries settled at a move destination
+    /// (one per member per group move; the root's transfer also counts once
+    /// under `object_moves`).
+    pub move_installs: AtomicU64,
+    /// Destroy-path heap frees the home allocator rejected (it did not
+    /// recognize the address). Always zero in a healthy run; counted
+    /// instead of asserted so release builds surface it.
+    pub heap_free_anomalies: AtomicU64,
 }
 
 /// Plain-data snapshot of [`ProtocolStats`].
@@ -86,6 +94,8 @@ pub struct ProtocolSnapshot {
     pub chase_divergences: u64,
     pub hint_repairs: u64,
     pub replica_evictions: u64,
+    pub move_installs: u64,
+    pub heap_free_anomalies: u64,
 }
 
 impl ProtocolStats {
@@ -117,6 +127,8 @@ impl ProtocolStats {
             chase_divergences: self.chase_divergences.load(Ordering::Relaxed),
             hint_repairs: self.hint_repairs.load(Ordering::Relaxed),
             replica_evictions: self.replica_evictions.load(Ordering::Relaxed),
+            move_installs: self.move_installs.load(Ordering::Relaxed),
+            heap_free_anomalies: self.heap_free_anomalies.load(Ordering::Relaxed),
         }
     }
 }
@@ -196,6 +208,8 @@ impl TraceSummary {
                 E::ChaseDiverged { .. } => s.snapshot.chase_divergences += 1,
                 E::HintRepair { .. } => s.snapshot.hint_repairs += 1,
                 E::ReplicaEvicted { .. } => s.snapshot.replica_evictions += 1,
+                E::MoveInstalled { .. } => s.snapshot.move_installs += 1,
+                E::HeapFreeAnomaly { .. } => s.snapshot.heap_free_anomalies += 1,
                 E::MessageCoalesced { .. } => s.coalesced += 1,
             }
         }

@@ -2057,3 +2057,49 @@ mod fastpath {
         }
     }
 }
+
+/// End-to-end workout for the runtime checkers: with `amber-verify` active
+/// (debug builds or `--features verify`) the lock-order checker and
+/// lifecycle linter observe every run in this file, panicking on the first
+/// violation. This test additionally exercises moves, replication,
+/// eviction-by-move, destroys, and the placement daemon in one program,
+/// then asserts the violation buffer is empty.
+#[cfg(any(feature = "verify", debug_assertions))]
+#[test]
+fn verification_workout_is_violation_free() {
+    let c = sim(4, 2);
+    c.run(|ctx| {
+        // Mutable objects bouncing between nodes.
+        let rovers: Vec<_> = (0..6).map(|i| ctx.create(i as u64)).collect();
+        for (i, r) in rovers.iter().enumerate() {
+            ctx.move_to(r, NodeId(((i + 1) % 4) as u16));
+            ctx.invoke(r, |_, v| *v += 1);
+            ctx.move_to(r, NodeId(((i + 2) % 4) as u16));
+        }
+        // An immutable object replicated by shared reads from every node:
+        // each anchor pins a thread to its node, which then reads the table.
+        let table = ctx.create(vec![7u8; 64]);
+        ctx.set_immutable(&table);
+        let handles: Vec<_> = (0..4)
+            .map(|n| {
+                let anchor = ctx.create_on(NodeId(n as u16), ());
+                let t = table;
+                ctx.start(&anchor, move |ctx, _| ctx.invoke_shared(&t, |_, v| v.len()))
+            })
+            .collect();
+        for h in handles {
+            assert_eq!(h.join(ctx), 64);
+        }
+        // Destroy half the rovers; keep invoking the rest.
+        for (i, r) in rovers.into_iter().enumerate() {
+            if i % 2 == 0 {
+                ctx.destroy(r);
+            } else {
+                ctx.invoke(&r, |_, v| *v += 1);
+            }
+        }
+    })
+    .unwrap();
+    let violations = amber_verify::take_violations();
+    assert!(violations.is_empty(), "checker violations: {violations:?}");
+}

@@ -460,7 +460,8 @@ impl Engine for RealEngine {
         // Real code has real cost; virtual charges are simulator-only.
     }
 
-    fn block_current(&self, _reason: &'static str) {
+    fn block_current(&self, reason: &'static str) {
+        amber_verify::engine_block_checkpoint(reason);
         let tid = must_current_thread();
         let tcb = self.tcb(tid);
         tcb.release_held(&self.inner.nodes);
@@ -475,7 +476,8 @@ impl Engine for RealEngine {
         self.tcb(thread).gate.post();
     }
 
-    fn block_kernel(&self, _reason: &'static str) {
+    fn block_kernel(&self, reason: &'static str) {
+        amber_verify::engine_block_checkpoint(reason);
         let tid = must_current_thread();
         let tcb = self.tcb(tid);
         tcb.release_held(&self.inner.nodes);
@@ -509,6 +511,7 @@ impl Engine for RealEngine {
     }
 
     fn send(&self, from: NodeId, to: NodeId, bytes: usize, handler: KernelFn) {
+        amber_verify::engine_block_checkpoint("send");
         let Some(co) = &self.coalesce else {
             self.raw_send(from, to, bytes, handler);
             return;
@@ -539,6 +542,7 @@ impl Engine for RealEngine {
     }
 
     fn yield_now(&self) {
+        amber_verify::engine_block_checkpoint("yield");
         let tid = must_current_thread();
         let tcb = self.tcb(tid);
         tcb.release_held(&self.inner.nodes);
@@ -547,6 +551,7 @@ impl Engine for RealEngine {
     }
 
     fn sleep(&self, duration: SimTime) {
+        amber_verify::engine_block_checkpoint("sleep");
         let tid = must_current_thread();
         let tcb = self.tcb(tid);
         tcb.release_held(&self.inner.nodes);

@@ -396,6 +396,7 @@ impl Transport for SimInner {
 
 impl SimEngine {
     fn block_class(&self, reason: &'static str, class: WakeClass) {
+        amber_verify::engine_block_checkpoint(reason);
         let tid = must_current_thread();
         let mut st = self.inner.state.lock();
         debug_assert_eq!(st.active, Some(tid), "block from a non-active thread");
@@ -563,6 +564,7 @@ impl Engine for SimEngine {
         if cost.is_zero() {
             return;
         }
+        amber_verify::engine_block_checkpoint("work");
         let tid = must_current_thread();
         let mut st = self.inner.state.lock();
         debug_assert_eq!(st.active, Some(tid), "work() from a non-active thread");
@@ -626,6 +628,7 @@ impl Engine for SimEngine {
     }
 
     fn send(&self, from: NodeId, to: NodeId, bytes: usize, handler: KernelFn) {
+        amber_verify::engine_block_checkpoint("send");
         let Some(co) = &self.coalesce else {
             self.raw_send(from, to, bytes, handler);
             return;
@@ -659,6 +662,7 @@ impl Engine for SimEngine {
     }
 
     fn yield_now(&self) {
+        amber_verify::engine_block_checkpoint("yield");
         let tid = must_current_thread();
         let mut st = self.inner.state.lock();
         st.tcb_mut(tid).state = RunState::Ready;
@@ -671,6 +675,7 @@ impl Engine for SimEngine {
         if duration.is_zero() {
             return self.yield_now();
         }
+        amber_verify::engine_block_checkpoint("sleep");
         let tid = must_current_thread();
         let mut st = self.inner.state.lock();
         st.tcb_mut(tid).state = RunState::Sleeping;

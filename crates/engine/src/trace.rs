@@ -243,6 +243,25 @@ pub enum ProtocolEvent {
         /// Node the cold replica was evicted from.
         node: NodeId,
     },
+    /// One member of a moved object group finished installing at the
+    /// destination (the root's transfer emits a single `ObjectMove`; every
+    /// member — root included — emits one of these when its registry entry
+    /// settles at the new node).
+    MoveInstalled {
+        /// Address of the installed group member.
+        obj: u64,
+        /// Node the member now resides on.
+        to: NodeId,
+    },
+    /// The destroy path failed to return an object's storage to its home
+    /// heap (the allocator did not recognize the address). Counted instead
+    /// of asserted so release builds surface it to operators.
+    HeapFreeAnomaly {
+        /// Address whose heap free failed.
+        obj: u64,
+        /// Home node whose heap rejected the free.
+        node: NodeId,
+    },
     /// A small kernel message queued into a per-link coalescing buffer
     /// instead of being sent immediately (it rides a later batch packet,
     /// which shows up as an ordinary `MessageSend`).
@@ -285,6 +304,8 @@ impl ProtocolEvent {
             ProtocolEvent::ChaseDiverged { .. } => "chase_diverged",
             ProtocolEvent::HintRepair { .. } => "hint_repair",
             ProtocolEvent::ReplicaEvicted { .. } => "replica_evicted",
+            ProtocolEvent::MoveInstalled { .. } => "move_installed",
+            ProtocolEvent::HeapFreeAnomaly { .. } => "heap_free_anomaly",
             ProtocolEvent::MessageCoalesced { .. } => "message_coalesced",
         }
     }
@@ -298,6 +319,7 @@ impl ProtocolEvent {
             | ProtocolEvent::ObjectCreate { node, .. }
             | ProtocolEvent::ObjectDestroy { node, .. }
             | ProtocolEvent::ReplicaEvicted { node, .. }
+            | ProtocolEvent::HeapFreeAnomaly { node, .. }
             | ProtocolEvent::ThreadStart { node, .. } => node,
             ProtocolEvent::RemoteInvoke { to, .. }
             | ProtocolEvent::ObjectMove { to, .. }
@@ -310,7 +332,8 @@ impl ProtocolEvent {
             | ProtocolEvent::HintRepair { at, .. } => at,
             ProtocolEvent::AdvisoryMove { to, .. }
             | ProtocolEvent::AdvisoryReplicate { to, .. }
-            | ProtocolEvent::AdvisoryScatter { to, .. } => to,
+            | ProtocolEvent::AdvisoryScatter { to, .. }
+            | ProtocolEvent::MoveInstalled { to, .. } => to,
             ProtocolEvent::Join { .. } => NodeId(0),
             ProtocolEvent::MessageSend { from, .. }
             | ProtocolEvent::MessageDropped { from, .. }
@@ -524,8 +547,12 @@ fn push_args(out: &mut String, event: &ProtocolEvent) {
         }
         ProtocolEvent::ObjectCreate { obj, node }
         | ProtocolEvent::ObjectDestroy { obj, node }
-        | ProtocolEvent::ReplicaEvicted { obj, node } => {
+        | ProtocolEvent::ReplicaEvicted { obj, node }
+        | ProtocolEvent::HeapFreeAnomaly { obj, node } => {
             let _ = write!(out, "\"obj\":{obj},\"node\":{}", node.index());
+        }
+        ProtocolEvent::MoveInstalled { obj, to } => {
+            let _ = write!(out, "\"obj\":{obj},\"to\":{}", to.index());
         }
         ProtocolEvent::ThreadStart { thread, node } => {
             let _ = write!(out, "\"thread\":{},\"node\":{}", thread.0, node.index());

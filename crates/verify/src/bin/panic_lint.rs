@@ -1,0 +1,70 @@
+//! CI gate for panic-free protocol edges.
+//!
+//! Scans `crates/{core,engine,placement}/src` for `unwrap()`/`expect()`/
+//! `panic!`/bare `assert!` occurrences (outside comments, strings, and
+//! `#[cfg(test)]` modules) and fails — exit code 1, listing file and line
+//! numbers — when any file exceeds the budget committed in
+//! `crates/verify/panic_allowlist.txt`. Run with `--update` to regenerate
+//! the allowlist after a deliberate change.
+
+use std::fs;
+use std::process::ExitCode;
+
+use amber_verify::panic_scan;
+
+fn main() -> ExitCode {
+    let update = std::env::args().any(|a| a == "--update");
+    let root = panic_scan::repo_root();
+    let counts = match panic_scan::scan_repo(&root) {
+        Ok(c) => c,
+        Err(e) => {
+            eprintln!("panic_lint: failed to scan {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+    let allowlist_path = root.join(panic_scan::ALLOWLIST);
+    if update {
+        let rendered = panic_scan::render_allowlist(&counts);
+        if let Err(e) = fs::write(&allowlist_path, rendered) {
+            eprintln!(
+                "panic_lint: failed to write {}: {e}",
+                allowlist_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+        println!("panic_lint: wrote {}", allowlist_path.display());
+        return ExitCode::SUCCESS;
+    }
+    let budgets = match fs::read_to_string(&allowlist_path) {
+        Ok(text) => panic_scan::parse_allowlist(&text),
+        Err(e) => {
+            eprintln!(
+                "panic_lint: cannot read {}: {e} (run with --update to create it)",
+                allowlist_path.display()
+            );
+            return ExitCode::FAILURE;
+        }
+    };
+    let overages = panic_scan::check(&counts, &budgets);
+    if overages.is_empty() {
+        let files = counts.len();
+        println!("panic_lint: OK ({files} files with allowlisted panic edges, none over budget)");
+        return ExitCode::SUCCESS;
+    }
+    for o in &overages {
+        eprintln!(
+            "panic_lint: {}: {} `{}` occurrences (allowlisted: {}) at lines {:?}",
+            o.path,
+            o.lines.len(),
+            o.token,
+            o.allowed,
+            o.lines
+        );
+    }
+    eprintln!(
+        "panic_lint: {} (file, token) budgets exceeded; remove the panic edge or \
+         regenerate the allowlist with `cargo run -p amber-verify --bin panic_lint -- --update`",
+        overages.len()
+    );
+    ExitCode::FAILURE
+}

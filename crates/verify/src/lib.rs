@@ -1,0 +1,490 @@
+//! Machine-checked discipline for the Amber runtime.
+//!
+//! Three analysis layers, all compiled to zero-cost no-ops unless the
+//! `verify` cargo feature or `debug_assertions` is on:
+//!
+//! * **Lock-order checker** — [`OrderedMutex`] / [`OrderedRwLock`] wrappers
+//!   carry a [`LockLevel`] and validate every acquisition against a
+//!   thread-local held-lock stack (levels must strictly ascend; shard
+//!   indices must ascend within their tier). Each observed `held → acquired`
+//!   pair also lands in a global acquisition-order graph with cycle
+//!   detection, so an inconsistent order is flagged even in runs where it
+//!   never actually deadlocked. Engines call
+//!   [`engine_block_checkpoint`] at every block/park/send point; holding any
+//!   tracked lock there is a violation.
+//! * **Protocol-lifecycle linter** — [`lifecycle::LifecycleLinter`], a
+//!   per-object state machine (`Created → Resident ⇄ Moving → Resident`,
+//!   replica install/evict, terminal `Destroyed`) fed by the trace stream;
+//!   illegal event sequences (an advisory after a destroy, a second move
+//!   start while moving, a hint repair pointing at a node that never held
+//!   the object) are reported as violations.
+//! * **Static source pass** — [`panic_scan`] and the `panic_lint` binary,
+//!   which fail CI on new `unwrap()`/`expect()`/`panic!`/bare `assert!` in
+//!   the protocol crates outside a committed allowlist.
+//!
+//! Violations are recorded in a global registry and panic by default (so a
+//! violating test run fails loudly); negative tests switch panicking off
+//! with [`set_panic_on_violation`] and drain the registry with
+//! [`take_violations`].
+
+#![warn(missing_docs)]
+
+use std::fmt;
+
+use parking_lot::Mutex;
+
+pub mod lifecycle;
+pub mod panic_scan;
+
+/// `true` when the runtime checkers are compiled in (the `verify` feature
+/// or `debug_assertions`); `false` when every wrapper is a plain newtype.
+pub const ACTIVE: bool = cfg!(any(feature = "verify", debug_assertions));
+
+/// The tiers of the kernel's documented lock hierarchy, in acquisition
+/// order. Ranks are totally ordered: `Topology` before every registry
+/// shard, shards in ascending index order, and per-node descriptor tables
+/// last. A thread may only acquire a tracked lock whose rank is strictly
+/// greater than the last tracked lock it acquired.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum LockLevel {
+    /// The attachment-topology mutex (`Kernel::topology`).
+    Topology,
+    /// One object-registry shard, by shard index.
+    RegistryShard(usize),
+    /// One node's residency-descriptor table, by node index.
+    DescriptorTable(usize),
+}
+
+impl LockLevel {
+    /// Total-order rank: tier in the high bits, index in the low bits.
+    pub fn rank(self) -> u64 {
+        match self {
+            LockLevel::Topology => 0,
+            LockLevel::RegistryShard(i) => (1 << 32) | i as u64,
+            LockLevel::DescriptorTable(i) => (2 << 32) | i as u64,
+        }
+    }
+}
+
+impl fmt::Display for LockLevel {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            LockLevel::Topology => write!(f, "Topology"),
+            LockLevel::RegistryShard(i) => write!(f, "RegistryShard({i})"),
+            LockLevel::DescriptorTable(i) => write!(f, "DescriptorTable({i})"),
+        }
+    }
+}
+
+/// One detected discipline violation.
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Violation {
+    /// A tracked lock was acquired while holding one of equal or higher
+    /// rank: the held/acquiring pair names the offending levels.
+    LockOrder {
+        /// The highest-ranked lock already held.
+        held: LockLevel,
+        /// The lock whose acquisition broke the order.
+        acquiring: LockLevel,
+    },
+    /// The global acquisition-order graph closed a cycle: `from → to` was
+    /// observed while `to` is already (transitively) ordered before `from`.
+    OrderCycle {
+        /// Tail of the edge that closed the cycle.
+        from: LockLevel,
+        /// Head of the edge that closed the cycle.
+        to: LockLevel,
+    },
+    /// A tracked lock was held while entering an engine block point
+    /// (park, sleep, yield, send, or charged work).
+    HeldAcrossBlock {
+        /// The most recently acquired lock still held.
+        held: LockLevel,
+        /// The engine block point's reason string.
+        reason: &'static str,
+    },
+    /// The protocol-lifecycle linter rejected an event sequence.
+    Lifecycle {
+        /// Raw address of the offending object.
+        obj: u64,
+        /// What was illegal about the sequence.
+        message: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::LockOrder { held, acquiring } => write!(
+                f,
+                "lock order violation: {held} -> {acquiring} (ranks must strictly ascend)"
+            ),
+            Violation::OrderCycle { from, to } => write!(
+                f,
+                "acquisition-order cycle: edge {from} -> {to} closes a cycle"
+            ),
+            Violation::HeldAcrossBlock { held, reason } => {
+                write!(f, "lock {held} held entering engine block point `{reason}`")
+            }
+            Violation::Lifecycle { obj, message } => {
+                write!(f, "lifecycle violation on object {obj:#x}: {message}")
+            }
+        }
+    }
+}
+
+/// Global violation registry. Tiny and cold: it only ever grows when a
+/// checker fires, so keeping it unconditionally compiled costs nothing on
+/// hot paths.
+static VIOLATIONS: Mutex<Vec<Violation>> = Mutex::new(Vec::new());
+static PANIC_ON_VIOLATION: std::sync::atomic::AtomicBool = std::sync::atomic::AtomicBool::new(true);
+
+/// Records a violation, panicking unless panic-on-violation was disabled.
+/// Called by the lock checker and the lifecycle linter; tests may call it
+/// directly to exercise the reporting path.
+pub fn report(v: Violation) {
+    VIOLATIONS.lock().push(v.clone());
+    if PANIC_ON_VIOLATION.load(std::sync::atomic::Ordering::Relaxed) {
+        panic!("amber-verify: {v}");
+    }
+}
+
+/// Drains and returns every recorded violation.
+pub fn take_violations() -> Vec<Violation> {
+    std::mem::take(&mut VIOLATIONS.lock())
+}
+
+/// Sets whether a reported violation panics immediately (the default) or is
+/// only recorded for later [`take_violations`]; returns the previous
+/// setting. Negative tests switch panicking off around deliberately illegal
+/// acquisitions.
+pub fn set_panic_on_violation(on: bool) -> bool {
+    PANIC_ON_VIOLATION.swap(on, std::sync::atomic::Ordering::Relaxed)
+}
+
+/// Asserts that no tracked lock is held at an engine block point. Engines
+/// call this at the top of every park/yield/sleep/send/work path; compiled
+/// to nothing when the checkers are off.
+#[inline]
+pub fn engine_block_checkpoint(reason: &'static str) {
+    #[cfg(any(feature = "verify", debug_assertions))]
+    checker::block_checkpoint(reason);
+    #[cfg(not(any(feature = "verify", debug_assertions)))]
+    let _ = reason;
+}
+
+#[cfg(any(feature = "verify", debug_assertions))]
+mod checker {
+    use std::cell::RefCell;
+    use std::collections::{HashMap, HashSet};
+
+    use parking_lot::Mutex;
+
+    use crate::{report, LockLevel, Violation};
+
+    thread_local! {
+        /// Tracked locks held by this thread, in acquisition order.
+        static HELD: RefCell<Vec<LockLevel>> = const { RefCell::new(Vec::new()) };
+        /// Edges this thread already pushed into the global graph, so the
+        /// steady state never touches the global mutex.
+        static SEEN: RefCell<HashSet<(u64, u64)>> = RefCell::new(HashSet::new());
+    }
+
+    /// Global acquisition-order graph: `rank -> ranks acquired while it was
+    /// the top of some thread's stack`, plus rank→level for diagnostics.
+    struct Graph {
+        levels: HashMap<u64, LockLevel>,
+        edges: HashMap<u64, Vec<u64>>,
+    }
+
+    static GRAPH: Mutex<Option<Graph>> = Mutex::new(None);
+
+    /// `true` if `to` can reach `from` through recorded edges (which would
+    /// make a new `from -> to` edge close a cycle).
+    fn reaches(graph: &Graph, start: u64, target: u64) -> bool {
+        let mut stack = vec![start];
+        let mut visited: HashSet<u64> = HashSet::new();
+        while let Some(n) = stack.pop() {
+            if n == target {
+                return true;
+            }
+            if !visited.insert(n) {
+                continue;
+            }
+            if let Some(next) = graph.edges.get(&n) {
+                stack.extend(next.iter().copied());
+            }
+        }
+        false
+    }
+
+    fn record_edge(held: LockLevel, acquiring: LockLevel) {
+        let edge = (held.rank(), acquiring.rank());
+        let fresh = SEEN.with(|s| s.borrow_mut().insert(edge));
+        if !fresh {
+            return;
+        }
+        let closes_cycle = {
+            let mut guard = GRAPH.lock();
+            let g = guard.get_or_insert_with(|| Graph {
+                levels: HashMap::new(),
+                edges: HashMap::new(),
+            });
+            g.levels.insert(edge.0, held);
+            g.levels.insert(edge.1, acquiring);
+            let out = g.edges.entry(edge.0).or_default();
+            if out.contains(&edge.1) {
+                return; // another thread already recorded (and checked) it
+            }
+            out.push(edge.1);
+            reaches(g, edge.1, edge.0)
+        };
+        if closes_cycle {
+            report(Violation::OrderCycle {
+                from: held,
+                to: acquiring,
+            });
+        }
+    }
+
+    /// Order check + graph recording, run *before* the underlying lock is
+    /// acquired so a misordered acquisition panics instead of deadlocking.
+    pub(crate) fn before_acquire(level: LockLevel) {
+        let top = HELD.with(|h| h.borrow().last().copied());
+        if let Some(top) = top {
+            record_edge(top, level);
+            if level.rank() <= top.rank() {
+                report(Violation::LockOrder {
+                    held: top,
+                    acquiring: level,
+                });
+            }
+        }
+    }
+
+    /// Pushes an acquired lock onto the held stack.
+    pub(crate) fn acquired(level: LockLevel) {
+        HELD.with(|h| h.borrow_mut().push(level));
+    }
+
+    /// Pops a released lock (the most recent matching entry, which is the
+    /// top in all non-violating programs).
+    pub(crate) fn released(level: LockLevel) {
+        HELD.with(|h| {
+            let mut h = h.borrow_mut();
+            if let Some(ix) = h.iter().rposition(|l| *l == level) {
+                h.remove(ix);
+            }
+        });
+    }
+
+    pub(crate) fn block_checkpoint(reason: &'static str) {
+        let top = HELD.with(|h| h.borrow().last().copied());
+        if let Some(held) = top {
+            report(Violation::HeldAcrossBlock { held, reason });
+        }
+    }
+}
+
+/// A mutex that participates in the lock-order check. With the checkers off
+/// this is a transparent newtype: `lock()` is the underlying lock and the
+/// guard is a plain deref, no extra atomics or branches.
+pub struct OrderedMutex<T> {
+    level: LockLevel,
+    inner: Mutex<T>,
+}
+
+impl<T> OrderedMutex<T> {
+    /// A new mutex at `level` holding `value`.
+    pub const fn new(level: LockLevel, value: T) -> OrderedMutex<T> {
+        OrderedMutex {
+            level,
+            inner: Mutex::new(value),
+        }
+    }
+
+    /// The level this lock was registered at.
+    pub fn level(&self) -> LockLevel {
+        self.level
+    }
+
+    /// Acquires the mutex, checking the acquisition against the calling
+    /// thread's held-lock stack first.
+    pub fn lock(&self) -> OrderedMutexGuard<'_, T> {
+        #[cfg(any(feature = "verify", debug_assertions))]
+        checker::before_acquire(self.level);
+        let inner = self.inner.lock();
+        #[cfg(any(feature = "verify", debug_assertions))]
+        checker::acquired(self.level);
+        OrderedMutexGuard {
+            inner,
+            #[cfg(any(feature = "verify", debug_assertions))]
+            level: self.level,
+        }
+    }
+}
+
+/// Guard returned by [`OrderedMutex::lock`].
+pub struct OrderedMutexGuard<'a, T> {
+    inner: parking_lot::MutexGuard<'a, T>,
+    #[cfg(any(feature = "verify", debug_assertions))]
+    level: LockLevel,
+}
+
+impl<T> std::ops::Deref for OrderedMutexGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for OrderedMutexGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(any(feature = "verify", debug_assertions))]
+impl<T> Drop for OrderedMutexGuard<'_, T> {
+    fn drop(&mut self) {
+        checker::released(self.level);
+    }
+}
+
+/// A reader-writer lock that participates in the lock-order check; see
+/// [`OrderedMutex`].
+pub struct OrderedRwLock<T> {
+    level: LockLevel,
+    inner: parking_lot::RwLock<T>,
+}
+
+impl<T> OrderedRwLock<T> {
+    /// A new rwlock at `level` holding `value`.
+    pub const fn new(level: LockLevel, value: T) -> OrderedRwLock<T> {
+        OrderedRwLock {
+            level,
+            inner: parking_lot::RwLock::new(value),
+        }
+    }
+
+    /// The level this lock was registered at.
+    pub fn level(&self) -> LockLevel {
+        self.level
+    }
+
+    /// Acquires shared access, order-checked like a lock acquisition.
+    pub fn read(&self) -> OrderedRwLockReadGuard<'_, T> {
+        #[cfg(any(feature = "verify", debug_assertions))]
+        checker::before_acquire(self.level);
+        let inner = self.inner.read();
+        #[cfg(any(feature = "verify", debug_assertions))]
+        checker::acquired(self.level);
+        OrderedRwLockReadGuard {
+            inner,
+            #[cfg(any(feature = "verify", debug_assertions))]
+            level: self.level,
+        }
+    }
+
+    /// Acquires exclusive access, order-checked like a lock acquisition.
+    pub fn write(&self) -> OrderedRwLockWriteGuard<'_, T> {
+        #[cfg(any(feature = "verify", debug_assertions))]
+        checker::before_acquire(self.level);
+        let inner = self.inner.write();
+        #[cfg(any(feature = "verify", debug_assertions))]
+        checker::acquired(self.level);
+        OrderedRwLockWriteGuard {
+            inner,
+            #[cfg(any(feature = "verify", debug_assertions))]
+            level: self.level,
+        }
+    }
+}
+
+/// Shared guard returned by [`OrderedRwLock::read`].
+pub struct OrderedRwLockReadGuard<'a, T> {
+    inner: parking_lot::RwLockReadGuard<'a, T>,
+    #[cfg(any(feature = "verify", debug_assertions))]
+    level: LockLevel,
+}
+
+impl<T> std::ops::Deref for OrderedRwLockReadGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+#[cfg(any(feature = "verify", debug_assertions))]
+impl<T> Drop for OrderedRwLockReadGuard<'_, T> {
+    fn drop(&mut self) {
+        checker::released(self.level);
+    }
+}
+
+/// Exclusive guard returned by [`OrderedRwLock::write`].
+pub struct OrderedRwLockWriteGuard<'a, T> {
+    inner: parking_lot::RwLockWriteGuard<'a, T>,
+    #[cfg(any(feature = "verify", debug_assertions))]
+    level: LockLevel,
+}
+
+impl<T> std::ops::Deref for OrderedRwLockWriteGuard<'_, T> {
+    type Target = T;
+    #[inline]
+    fn deref(&self) -> &T {
+        &self.inner
+    }
+}
+
+impl<T> std::ops::DerefMut for OrderedRwLockWriteGuard<'_, T> {
+    #[inline]
+    fn deref_mut(&mut self) -> &mut T {
+        &mut self.inner
+    }
+}
+
+#[cfg(any(feature = "verify", debug_assertions))]
+impl<T> Drop for OrderedRwLockWriteGuard<'_, T> {
+    fn drop(&mut self) {
+        checker::released(self.level);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ranks_are_totally_ordered() {
+        let order = [
+            LockLevel::Topology,
+            LockLevel::RegistryShard(0),
+            LockLevel::RegistryShard(63),
+            LockLevel::DescriptorTable(0),
+            LockLevel::DescriptorTable(7),
+        ];
+        for w in order.windows(2) {
+            assert!(w[0].rank() < w[1].rank(), "{} !< {}", w[0], w[1]);
+        }
+    }
+
+    #[test]
+    fn display_names_the_index() {
+        assert_eq!(LockLevel::RegistryShard(5).to_string(), "RegistryShard(5)");
+        assert_eq!(
+            LockLevel::DescriptorTable(2).to_string(),
+            "DescriptorTable(2)"
+        );
+        let v = Violation::LockOrder {
+            held: LockLevel::DescriptorTable(0),
+            acquiring: LockLevel::RegistryShard(5),
+        };
+        let s = v.to_string();
+        assert!(s.contains("DescriptorTable(0)"), "{s}");
+        assert!(s.contains("RegistryShard(5)"), "{s}");
+    }
+}
